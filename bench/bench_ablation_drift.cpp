@@ -1,0 +1,90 @@
+// Ablation: drift-compensation strategies of paper Section 3.3.
+//
+// The group clock drifts from real time because each round's winner
+// proposal excludes the previous round's communication/processing delay
+// (and because the hardware crystals drift).  The paper sketches two
+// remedies:
+//   1. add a mean delay to the offset each time it is recalculated
+//      ("can significantly reduce the drift but is necessarily only
+//      approximate");
+//   2. blend each proposal a small proportion toward an NTP/GPS reference
+//      ("a small but repeated bias towards real time").
+//
+// This benchmark measures (group clock − real time) at round milestones
+// for all three configurations.
+#include <cstdio>
+#include <vector>
+
+#include "app/testbed.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+constexpr int kRounds = 5'000;
+const std::vector<int> kMilestones = {100, 500, 1000, 2000, 3000, 4000, 5000};
+
+std::vector<Micros> run(ccs::DriftCompensation strategy, Micros mean_delay, double gain) {
+  TestbedConfig cfg;
+  cfg.servers = 3;
+  cfg.seed = 77;
+  cfg.drift = strategy;
+  cfg.mean_delay_us = mean_delay;
+  cfg.reference_gain = gain;
+  cfg.max_drift_ppm = 30.0;  // realistic crystals, unlike the isolation tests
+  Testbed tb(cfg);
+
+  clock::ReferenceTimeSource ref(tb.sim(), Rng(5), 200);
+  if (strategy == ccs::DriftCompensation::kReferenceBias) {
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      tb.server(s).time_service().set_reference(&ref);
+    }
+  }
+
+  std::vector<Micros> drift_at;
+  int round = 0;
+  std::size_t next = 0;
+  tb.server(0).time_service().set_round_observer([&](const ccs::RoundResult& rr) {
+    ++round;
+    if (next < kMilestones.size() && round == kMilestones[next]) {
+      drift_at.push_back(rr.group_clock - (1056326400LL * 1000000LL + tb.sim().now()));
+      ++next;
+    }
+  });
+  tb.start();
+
+  bool done = false;
+  tb.client().invoke(make_burst_request(kRounds), [&](const Bytes&) { done = true; });
+  while (!done) tb.sim().run_until(tb.sim().now() + 1'000'000);
+  return drift_at;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation: group-clock drift vs compensation strategy (Section 3.3)\n");
+  std::printf("# drift = group clock - real time, us; 3 replicas, crystals at +/-30ppm\n\n");
+
+  const auto none = run(ccs::DriftCompensation::kNone, 0, 0.0);
+  const auto mean = run(ccs::DriftCompensation::kMeanDelay, 45, 0.0);
+  const auto adaptive = run(ccs::DriftCompensation::kAdaptiveMeanDelay, 0, 0.0);
+  const auto bias = run(ccs::DriftCompensation::kReferenceBias, 0, 0.1);
+
+  // The group clock starts at the first winner's arbitrary hardware offset;
+  // what matters is how the error GROWS, so report drift relative to the
+  // round-100 baseline (ref_bias, which actively seeks real time, is shown
+  // raw as well).
+  std::printf("%-8s %16s %18s %16s %18s %14s\n", "round", "none_us", "mean_delay(45us)",
+              "adaptive", "ref_bias(g=0.1)", "ref_bias_raw");
+  for (std::size_t i = 0; i < kMilestones.size(); ++i) {
+    std::printf("%-8d %16lld %18lld %16lld %18lld %14lld\n", kMilestones[i],
+                (long long)(none[i] - none[0]), (long long)(mean[i] - mean[0]),
+                (long long)(adaptive[i] - adaptive[0]), (long long)(bias[i] - bias[0]),
+                (long long)bias[i]);
+  }
+  std::printf("\nexpected shape: 'none' grows without bound (negative); 'mean_delay' shrinks it\n"
+              "substantially but needs a tuned constant; 'adaptive' matches it with no\n"
+              "tuning; 'ref_bias' stays bounded near zero.\n");
+  return 0;
+}

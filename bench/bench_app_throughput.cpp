@@ -1,0 +1,121 @@
+// Benchmark: application-level cost of the consistent time service.
+//
+// Two replicated applications on the same stack:
+//   * KV store, clock-free ops (GET/PUT without leases) — requests need no
+//     CCS round, only the ordered request + reply;
+//   * KV store, lease ops (ACQUIRE) — each request runs one CCS round;
+//   * time server (gettimeofday) — the paper's workload, one round each.
+//
+// Reported per replication style: mean end-to-end latency and the CCS
+// rounds actually consumed, showing precisely what the group clock costs
+// an application that uses it — and that clock-free operations pay
+// nothing.
+#include <cstdio>
+#include <string>
+
+#include "app/kv_store.hpp"
+#include "app/testbed.hpp"
+#include "common/histogram.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+constexpr int kOps = 1'000;
+
+struct Row {
+  double mean_us;
+  Micros p99;
+  std::uint64_t ccs_rounds;
+};
+
+enum class Workload { kKvPlain, kKvLease, kTimeServer };
+
+Row run(Workload wl, replication::ReplicationStyle style) {
+  TestbedConfig cfg;
+  cfg.servers = 3;
+  cfg.seed = 99;
+  cfg.style = style;
+  if (style == replication::ReplicationStyle::kPassive) cfg.checkpoint_every = 50;
+  if (wl != Workload::kTimeServer) cfg.factory = kv_store_factory();
+  Testbed tb(cfg);
+  tb.start();
+
+  Histogram lat(10, 20'000);
+  bool done = false;
+  auto driver = [&]() -> sim::Task {
+    for (int i = 0; i < kOps; ++i) {
+      co_await tb.sim().delay(200);
+      const Micros t0 = tb.sim().now();
+      Bytes req;
+      switch (wl) {
+        case Workload::kKvPlain:
+          req = (i % 2) ? kv_get("key" + std::to_string(i % 16))
+                        : kv_put("key" + std::to_string(i % 16), "value");
+          break;
+        case Workload::kKvLease:
+          req = kv_acquire("lock" + std::to_string(i % 16), 1 + (i % 3), 5'000);
+          break;
+        case Workload::kTimeServer:
+          req = make_get_time_request();
+          break;
+      }
+      (void)co_await tb.client().call(std::move(req));
+      lat.add(tb.sim().now() - t0);
+    }
+    done = true;
+  };
+  driver();
+  while (!done) tb.sim().run_until(tb.sim().now() + 1'000'000);
+  tb.sim().run_for(2'000'000);
+
+  std::uint64_t rounds = 0;
+  for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+    rounds = std::max(rounds, tb.server(s).time_service().stats().rounds_completed);
+  }
+  return Row{lat.mean(), lat.percentile(0.99), rounds};
+}
+
+const char* style_name(replication::ReplicationStyle s) {
+  switch (s) {
+    case replication::ReplicationStyle::kActive:
+      return "active";
+    case replication::ReplicationStyle::kSemiActive:
+      return "semiactive";
+    case replication::ReplicationStyle::kPassive:
+      return "passive";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Application throughput: what the group clock costs, per workload\n");
+  std::printf("# %d requests per cell, 3 replicas\n\n", kOps);
+  std::printf("%-12s %-22s %10s %8s %12s\n", "style", "workload", "mean_us", "p99_us",
+              "ccs_rounds");
+  for (auto style : {replication::ReplicationStyle::kActive,
+                     replication::ReplicationStyle::kSemiActive,
+                     replication::ReplicationStyle::kPassive}) {
+    const Row plain = run(Workload::kKvPlain, style);
+    const Row lease = run(Workload::kKvLease, style);
+    const Row time = run(Workload::kTimeServer, style);
+    std::printf("%-12s %-22s %10.1f %8lld %12llu\n", style_name(style), "kv get/put (no clock)",
+                plain.mean_us, (long long)plain.p99, (unsigned long long)plain.ccs_rounds);
+    std::printf("%-12s %-22s %10.1f %8lld %12llu\n", style_name(style), "kv acquire (1 round)",
+                lease.mean_us, (long long)lease.p99, (unsigned long long)lease.ccs_rounds);
+    std::printf("%-12s %-22s %10.1f %8lld %12llu\n", style_name(style), "gettimeofday (1 round)",
+                time.mean_us, (long long)time.p99, (unsigned long long)time.ccs_rounds);
+  }
+  std::printf(
+      "\nexpected shape: clock-free operations consume zero CCS rounds and run at raw\n"
+      "ordered-multicast latency in every style.  Clock-using operations add up to one\n"
+      "token rotation — but under ACTIVE replication the proposal competition hides\n"
+      "almost all of it (some replica's token visit is always imminent), while a single\n"
+      "proposer (semi-active primary / passive primary) pays the full wait.  The time-\n"
+      "server rows also include its simulated per-request ORB processing delay.  The\n"
+      "extra ccs_rounds beyond 1/request are the lease-expiry timer polls.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the stack:
+// message codecs, CCS payload encode/decode, simulator event scheduling,
+// RNG draws, and histogram accumulation.  These bound the per-round CPU
+// cost that the protocol adds on top of the network latency.
+#include <benchmark/benchmark.h>
+
+#include "app/testbed.hpp"
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "cts/ccs_message.hpp"
+#include "gcs/gcs.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace cts;
+
+void BM_BytesWriterSmallMessage(benchmark::State& state) {
+  for (auto _ : state) {
+    BytesWriter w;
+    w.u8(3);
+    w.u32(42);
+    w.u64(123456789);
+    w.i64(-5);
+    w.str("payload");
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_BytesWriterSmallMessage);
+
+void BM_BytesReaderSmallMessage(benchmark::State& state) {
+  BytesWriter w;
+  w.u8(3);
+  w.u32(42);
+  w.u64(123456789);
+  w.i64(-5);
+  w.str("payload");
+  const Bytes data = std::move(w).take();
+  for (auto _ : state) {
+    BytesReader r(data);
+    benchmark::DoNotOptimize(r.u8());
+    benchmark::DoNotOptimize(r.u32());
+    benchmark::DoNotOptimize(r.u64());
+    benchmark::DoNotOptimize(r.i64());
+    benchmark::DoNotOptimize(r.str());
+  }
+}
+BENCHMARK(BM_BytesReaderSmallMessage);
+
+void BM_CcsPayloadRoundTrip(benchmark::State& state) {
+  ccs::CcsPayload p;
+  p.thread = ThreadId{1};
+  p.call_type = ccs::ClockCallType::kGettimeofday;
+  p.proposed_clock = 1056326400LL * 1000000LL;
+  for (auto _ : state) {
+    const Bytes b = p.encode();
+    benchmark::DoNotOptimize(ccs::CcsPayload::decode(b));
+  }
+}
+BENCHMARK(BM_CcsPayloadRoundTrip);
+
+void BM_GcsHeaderRoundTrip(benchmark::State& state) {
+  gcs::Message m;
+  m.hdr.type = gcs::MsgType::kCcs;
+  m.hdr.src_grp = GroupId{1};
+  m.hdr.dst_grp = GroupId{1};
+  m.hdr.conn = ConnectionId{1000};
+  m.hdr.tag = ThreadId{0};
+  m.hdr.seq = 12345;
+  m.hdr.sender_replica = ReplicaId{2};
+  m.hdr.sender_node = NodeId{3};
+  m.payload = Bytes(14, 0xAB);
+  for (auto _ : state) {
+    const Bytes b = gcs::GcsEndpoint::encode(m);
+    benchmark::DoNotOptimize(gcs::GcsEndpoint::decode(b));
+  }
+}
+BENCHMARK(BM_GcsHeaderRoundTrip);
+
+void BM_SimulatorScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 64; ++i) {
+      sim.after(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SimulatorScheduleAndRun);
+
+void BM_SimulatorCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::Simulator::EventId> ids;
+    ids.reserve(64);
+    for (int i = 0; i < 64; ++i) ids.push_back(sim.after(i, [] {}));
+    for (auto id : ids) sim.cancel(id);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SimulatorCancel);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngGaussian(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.gaussian(0.0, 1.0));
+}
+BENCHMARK(BM_RngGaussian);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram h(10, 10'000);
+  Rng rng(2);
+  for (auto _ : state) h.add(rng.range(0, 9'999));
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_FullStackSimulationSpeed(benchmark::State& state) {
+  // Wall-clock cost of simulating the whole testbed: one client invocation
+  // round-trip through Totem + GCS + replication + CTS per iteration.
+  // Reported as simulated-requests per wall-second — the simulator's
+  // throughput budget for large experiments.
+  app::TestbedConfig cfg;
+  cfg.seed = 42;
+  app::Testbed tb(cfg);
+  tb.start();
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    bool done = false;
+    tb.client().invoke(app::make_get_time_request(), [&](const Bytes&) { done = true; });
+    while (!done) tb.sim().run(256);
+    ++completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+BENCHMARK(BM_FullStackSimulationSpeed)->Unit(benchmark::kMicrosecond);
+
+void BM_TotemRingIdleRotation(benchmark::State& state) {
+  // Wall-clock cost of one simulated token rotation on an idle 4-node ring.
+  sim::Simulator sim(3);
+  net::Network net(sim, {});
+  totem::TotemConfig tcfg;
+  for (std::uint32_t i = 0; i < 4; ++i) tcfg.universe.push_back(NodeId{i});
+  std::vector<std::unique_ptr<totem::TotemNode>> nodes;
+  std::uint64_t tokens = 0;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
+    if (i == 0) nodes.back()->set_token_observer([&tokens] { ++tokens; });
+    nodes.back()->start();
+  }
+  sim.run_for(100'000);
+  for (auto _ : state) {
+    const auto target = tokens + 1;
+    while (tokens < target) sim.run(64);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tokens));
+}
+BENCHMARK(BM_TotemRingIdleRotation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Benchmark: CCS round latency and message cost vs group size.
+//
+// The paper evaluates a 3-way replicated server; this sweep shows how the
+// consistent time service behaves as the group grows, for both replication
+// styles:
+//   * ACTIVE — every replica competes to be the synchronizer.  The denser
+//     the ring, the sooner SOME replica's token visit orders a proposal, so
+//     round latency stays roughly flat as the group grows.
+//   * SEMI-ACTIVE — only the primary proposes, so every round waits for the
+//     primary's token visit: latency grows linearly with the ring size.
+// Duplicate suppression keeps the wire cost near one CCS message per round
+// in both cases.
+#include <cstdio>
+#include <vector>
+
+#include "app/testbed.hpp"
+#include "common/histogram.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+struct Row {
+  double mean_us;
+  Micros p50, p99;
+  double ccs_per_round;
+};
+
+Row run(std::size_t servers, replication::ReplicationStyle style) {
+  constexpr int kRounds = 2'000;
+  TestbedConfig cfg;
+  cfg.servers = servers;
+  cfg.style = style;
+  cfg.seed = 1234;
+  Testbed tb(cfg);
+
+  Histogram lat(5, 10'000);
+  tb.start();
+
+  bool done = false;
+  auto worker = [&](std::uint32_t s, bool measure) -> sim::Task {
+    auto& svc = tb.server(s).time_service();
+    for (int i = 0; i < kRounds; ++i) {
+      co_await tb.sim().delay(100);
+      const Micros t0 = tb.sim().now();
+      (void)co_await svc.get_time(ThreadId{5});
+      if (measure) lat.add(tb.sim().now() - t0);
+    }
+    if (measure) done = true;
+  };
+  for (std::uint32_t s = 0; s < servers; ++s) worker(s, s == 0);
+  while (!done) tb.sim().run_until(tb.sim().now() + 1'000'000);
+  tb.sim().run_for(2'000'000);
+
+  std::uint64_t wire = 0;
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    wire += tb.gcs_of(tb.server_node(s)).stats().on_wire(gcs::MsgType::kCcs);
+  }
+  return Row{lat.mean(), lat.percentile(0.5), lat.percentile(0.99), (double)wire / kRounds};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Scalability: CCS round latency and wire cost vs group size\n");
+  std::printf("# (2000 rounds per point; one client node + N server nodes on the ring)\n\n");
+  std::printf("%-8s | %10s %8s %14s | %10s %8s %14s\n", "", "-- active", "--", "",
+              "-- semi-a", "ctive --", "");
+  std::printf("%-8s | %10s %8s %14s | %10s %8s %14s\n", "servers", "mean_us", "p99_us",
+              "ccs/round", "mean_us", "p99_us", "ccs/round");
+  for (std::size_t n : {2, 3, 4, 6, 8, 12, 16}) {
+    const Row a = run(n, replication::ReplicationStyle::kActive);
+    const Row s = run(n, replication::ReplicationStyle::kSemiActive);
+    std::printf("%-8zu | %10.1f %8lld %14.3f | %10.1f %8lld %14.3f\n", n, a.mean_us,
+                (long long)a.p99, a.ccs_per_round, s.mean_us, (long long)s.p99,
+                s.ccs_per_round);
+  }
+  std::printf(
+      "\nexpected shape: with active replication the proposal competition keeps round\n"
+      "latency roughly flat (expected token wait ~ rotation/N); with a single proposer\n"
+      "(semi-active primary) latency grows linearly with the ring size.  Duplicate\n"
+      "suppression holds the wire cost near 1 CCS message/round in both styles.\n");
+  return 0;
+}

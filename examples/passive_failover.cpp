@@ -1,0 +1,85 @@
+// Example: passive replication, primary crash, and why the group clock
+// matters (paper Sections 1 and 3.3).
+//
+// A passively replicated order-processing service assigns each order a
+// timestamp from gettimeofday().  Mid-run the primary crashes and a backup
+// takes over: with raw clocks this is exactly the scenario where order
+// timestamps can ROLL BACK (breaking "order 7 was placed after order 6");
+// with the consistent time service the group clock continues seamlessly —
+// the new primary replays the logged requests, consuming the CCS values
+// the old primary already distributed.
+//
+// Run: ./build/examples/passive_failover
+#include <cstdio>
+#include <vector>
+
+#include "app/testbed.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+sim::Task drive(Testbed& tb, int n, std::vector<std::pair<int, Micros>>& orders, bool& done,
+                std::function<void(int)> after_each) {
+  for (int i = 0; i < n; ++i) {
+    co_await tb.sim().delay(2'000);
+    const Bytes reply = co_await tb.client().call(make_get_time_request());
+    BytesReader r(reply);
+    orders.emplace_back(i + 1, r.i64() * 1'000'000 + r.i64());
+    after_each(i + 1);
+  }
+  done = true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Passive replication failover ==\n\n");
+
+  TestbedConfig cfg;
+  cfg.servers = 3;
+  cfg.style = replication::ReplicationStyle::kPassive;
+  cfg.checkpoint_every = 4;          // primary checkpoints every 4 orders
+  cfg.max_clock_offset_us = 500'000;  // clocks up to 0.5s apart
+  Testbed tb(cfg);
+  tb.start();
+
+  std::vector<std::pair<int, Micros>> orders;
+  bool done = false;
+  bool crashed = false;
+  drive(tb, 20, orders, done, [&](int order) {
+    if (order == 10 && !crashed) {
+      crashed = true;
+      for (std::uint32_t s = 0; s < 3; ++s) {
+        if (tb.server(s).is_primary()) {
+          std::printf("  !! crashing primary (replica %u) after order 10\n", s + 1);
+          tb.crash_server(s);
+        }
+      }
+    }
+  });
+  while (!done) tb.sim().run_until(tb.sim().now() + 100'000);
+
+  std::printf("\norder  timestamp_us        delta_us\n");
+  Micros prev = 0;
+  bool monotone = true;
+  for (auto [id, ts] : orders) {
+    std::printf("%5d  %18lld %9lld%s\n", id, (long long)ts, (long long)(prev ? ts - prev : 0),
+                (prev && ts <= prev) ? "  <-- ROLL-BACK" : "");
+    monotone &= (prev == 0 || ts > prev);
+    prev = ts;
+  }
+
+  std::uint64_t replayed = 0;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    if (tb.clock_of(tb.server_node(s)).alive()) {
+      replayed += tb.server(s).stats().requests_replayed;
+    }
+  }
+  std::printf("\nrequests replayed by the promoted backup: %llu\n",
+              (unsigned long long)replayed);
+  std::printf("order timestamps monotone across the failover: %s\n",
+              monotone ? "YES" : "NO (this is what raw clocks would do)");
+  return monotone ? 0 : 1;
+}

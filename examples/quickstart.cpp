@@ -1,0 +1,75 @@
+// Quickstart: a replicated time server with a consistent group clock.
+//
+// Spins up the paper's testbed — a client on the ring leader and a 3-way
+// actively replicated server — then invokes the remote "what time is it?"
+// method a few times.  Watch three things:
+//   1. every reply timestamp strictly increases (the group clock is
+//      monotone), even though the three replicas' hardware clocks disagree
+//      by hundreds of milliseconds;
+//   2. all three replicas record IDENTICAL timestamp histories — the
+//      consistent time service made gettimeofday() deterministic;
+//   3. the hardware clocks themselves are wildly apart, so without the
+//      service the histories could not possibly match.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "app/testbed.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+sim::Task drive(Testbed& tb, int n, bool& done) {
+  for (int i = 0; i < n; ++i) {
+    co_await tb.sim().delay(1'000);
+    const Bytes reply = co_await tb.client().call(make_get_time_request());
+    BytesReader r(reply);
+    const auto sec = r.i64();
+    const auto usec = r.i64();
+    std::printf("  reply %2d: %lld.%06lld s (group clock)\n", i + 1, (long long)sec,
+                (long long)usec);
+  }
+  done = true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Consistent Time Service quickstart ==\n\n");
+
+  TestbedConfig cfg;
+  cfg.servers = 3;
+  cfg.max_clock_offset_us = 400'000;  // hardware clocks up to +/-0.4s apart
+  Testbed tb(cfg);
+  tb.start();
+
+  std::printf("hardware clocks at the three server hosts right now:\n");
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const Micros v = tb.clock_of(tb.server_node(s)).read();
+    std::printf("  replica %u: %lld.%06lld s\n", s + 1, (long long)(v / 1'000'000),
+                (long long)(v % 1'000'000));
+  }
+
+  std::printf("\ninvoking the replicated time server 10 times:\n");
+  bool done = false;
+  drive(tb, 10, done);
+  while (!done) tb.sim().run_until(tb.sim().now() + 100'000);
+  tb.sim().run_for(1'000'000);
+
+  std::printf("\nper-replica gettimeofday() histories (must be identical):\n");
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const auto& h = tb.server_app(s).time_history();
+    std::printf("  replica %u: %zu readings, first=%lld, last=%lld\n", s + 1, h.size(),
+                (long long)h.front(), (long long)h.back());
+  }
+  const bool consistent = tb.server_app(0).time_history() == tb.server_app(1).time_history() &&
+                          tb.server_app(1).time_history() == tb.server_app(2).time_history();
+  std::printf("\nreplica histories identical: %s\n", consistent ? "YES" : "NO (bug!)");
+  std::printf("CCS rounds run by replica 1: %llu, rounds it won: %llu\n",
+              (unsigned long long)tb.server(0).time_service().stats().rounds_completed,
+              (unsigned long long)tb.server(0).time_service().stats().rounds_won);
+  return consistent ? 0 : 1;
+}

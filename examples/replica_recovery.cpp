@@ -1,0 +1,78 @@
+// Example: integrating a new clock — replica crash and recovery
+// (paper Section 3.2).
+//
+// A replica of a 3-way active group crashes, reboots with a DIFFERENT
+// hardware clock (a reboot does not preserve the system time), and rejoins
+// through the state-transfer protocol: GET_STATE, a special CCS round that
+// initializes its clock offset from the group clock, the checkpoint, and
+// the drain of requests queued during the transfer.  The recovered replica
+// is indistinguishable from the survivors afterwards.
+//
+// Run: ./build/examples/replica_recovery
+#include <cstdio>
+#include <vector>
+
+#include "app/testbed.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+sim::Task drive(Testbed& tb, int n, std::vector<Micros>& stamps, bool& done) {
+  for (int i = 0; i < n; ++i) {
+    co_await tb.sim().delay(2'000);
+    const Bytes reply = co_await tb.client().call(make_get_time_request());
+    BytesReader r(reply);
+    stamps.push_back(r.i64() * 1'000'000 + r.i64());
+  }
+  done = true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Replica recovery with clock integration ==\n\n");
+
+  Testbed tb({});
+  tb.start();
+
+  std::vector<Micros> stamps;
+  bool done = false;
+  drive(tb, 40, stamps, done);
+
+  // Let some traffic flow, then kill replica 3.
+  while (stamps.size() < 10) tb.sim().run_until(tb.sim().now() + 10'000);
+  std::printf("crashing replica 3 after %zu requests\n", stamps.size());
+  tb.crash_server(2);
+
+  while (stamps.size() < 20) tb.sim().run_until(tb.sim().now() + 10'000);
+  std::printf("restarting replica 3 (fresh hardware clock, empty state)...\n");
+  const Micros t0 = tb.sim().now();
+  bool recovered = false;
+  tb.restart_server(2, [&] { recovered = true; });
+  while (!recovered) tb.sim().run_until(tb.sim().now() + 1'000);
+  std::printf("recovered in %lld us of simulated time\n", (long long)(tb.sim().now() - t0));
+  std::printf("  special CCS rounds observed by the recovering replica: %llu\n",
+              (unsigned long long)tb.server(2).time_service().stats().special_rounds);
+  std::printf("  clock offset adopted from the group clock: %lld us\n",
+              (long long)tb.server(2).time_service().clock_offset());
+
+  while (!done) tb.sim().run_until(tb.sim().now() + 100'000);
+  tb.sim().run_for(2'000'000);
+
+  bool monotone = true;
+  for (std::size_t i = 1; i < stamps.size(); ++i) monotone &= stamps[i] > stamps[i - 1];
+  std::printf("\n%zu timestamps, monotone across crash AND recovery: %s\n", stamps.size(),
+              monotone ? "YES" : "NO");
+
+  const bool identical = tb.server_app(2).time_history() == tb.server_app(0).time_history() &&
+                         tb.server_app(2).counter() == tb.server_app(0).counter();
+  std::printf("recovered replica's state identical to the survivors': %s\n",
+              identical ? "YES" : "NO");
+  std::printf("  (history length %zu, counter %llu — includes pre-crash state it never saw,\n"
+              "   transferred in the checkpoint)\n",
+              tb.server_app(2).time_history().size(),
+              (unsigned long long)tb.server_app(2).counter());
+  return (monotone && identical) ? 0 : 1;
+}

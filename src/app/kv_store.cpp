@@ -1,0 +1,307 @@
+#include "app/kv_store.hpp"
+
+namespace cts::app {
+
+const char* to_string(KvStatus s) {
+  switch (s) {
+    case KvStatus::kOk:
+      return "ok";
+    case KvStatus::kNotFound:
+      return "not-found";
+    case KvStatus::kLeaseHeld:
+      return "lease-held";
+    case KvStatus::kLeaseDenied:
+      return "lease-denied";
+    case KvStatus::kBadRequest:
+      return "bad-request";
+  }
+  return "?";
+}
+
+// --- Request builders ---------------------------------------------------------
+
+namespace {
+BytesWriter op_header(KvOp op, const std::string& key) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  return w;
+}
+}  // namespace
+
+Bytes kv_put(const std::string& key, const std::string& value, std::uint64_t owner) {
+  BytesWriter w = op_header(KvOp::kPut, key);
+  w.str(value);
+  w.u64(owner);
+  return std::move(w).take();
+}
+
+Bytes kv_get(const std::string& key) { return std::move(op_header(KvOp::kGet, key)).take(); }
+
+Bytes kv_del(const std::string& key, std::uint64_t owner) {
+  BytesWriter w = op_header(KvOp::kDelete, key);
+  w.u64(owner);
+  return std::move(w).take();
+}
+
+Bytes kv_acquire(const std::string& key, std::uint64_t owner, Micros ttl_us) {
+  BytesWriter w = op_header(KvOp::kAcquire, key);
+  w.u64(owner);
+  w.i64(ttl_us);
+  return std::move(w).take();
+}
+
+Bytes kv_release(const std::string& key, std::uint64_t owner) {
+  BytesWriter w = op_header(KvOp::kRelease, key);
+  w.u64(owner);
+  return std::move(w).take();
+}
+
+Bytes kv_stats() {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(KvOp::kStats));
+  w.str("");
+  return std::move(w).take();
+}
+
+KvReply KvReply::parse(const Bytes& b) {
+  BytesReader r(b);
+  KvReply out;
+  out.status = static_cast<KvStatus>(r.u8());
+  out.value = r.str();
+  out.version = r.u64();
+  out.lease_expiry = r.i64();
+  out.key_count = r.u64();
+  out.state_digest = r.u64();
+  return out;
+}
+
+namespace {
+Bytes make_reply(KvStatus status, const std::string& value = "", std::uint64_t version = 0,
+                 Micros lease_expiry = 0, std::uint64_t key_count = 0,
+                 std::uint64_t digest = 0) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.str(value);
+  w.u64(version);
+  w.i64(lease_expiry);
+  w.u64(key_count);
+  w.u64(digest);
+  return std::move(w).take();
+}
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_str(std::uint64_t h, const std::string& s) {
+  for (unsigned char c : s) h = hash_mix(h, c);
+  return h;
+}
+}  // namespace
+
+// --- KvStoreApp -------------------------------------------------------------------
+
+KvStoreApp::KvStoreApp(replication::ReplicaContext& ctx, Options opt)
+    : ctx_(ctx),
+      sys_(ctx.time, ctx.processing_thread),
+      // The timer thread id must be unique per shard: derive it from the
+      // shard's processing thread (same derivation at every replica).
+      timers_(ctx.time, ccs::GroupTimerService::Config{
+                            ThreadId{ctx.processing_thread.value + 1000}, opt.timer_poll_us}),
+      opt_(opt) {}
+
+void KvStoreApp::handle_request(const Bytes& request, std::function<void(Bytes)> done) {
+  serve(request, std::move(done));
+}
+
+bool KvStoreApp::lease_blocks(const Entry& e, std::uint64_t owner, Micros now) const {
+  return e.lease_owner != 0 && e.lease_owner != owner && e.lease_expiry > now;
+}
+
+void KvStoreApp::arm_expiry(const std::string& key, std::uint64_t grant, Micros expiry) {
+  timers_.schedule_at(expiry, [this, key, grant](Micros) {
+    auto it = entries_.find(key);
+    // Only expire the exact grant this timer was armed for: the lease may
+    // have been released and re-acquired since.
+    if (it == entries_.end() || it->second.lease_grant != grant) return;
+    it->second.lease_owner = 0;
+    it->second.lease_expiry = 0;
+    ++leases_expired_;
+  });
+}
+
+sim::Task KvStoreApp::serve(Bytes request, std::function<void(Bytes)> done) {
+  BytesReader r(request);
+  Bytes reply;
+  try {
+    const auto op = static_cast<KvOp>(r.u8());
+    const std::string key = r.str();
+    switch (op) {
+      case KvOp::kPut: {
+        const std::string value = r.str();
+        const std::uint64_t owner = r.u64();
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.lease_owner != 0) {
+          // A lease exists: check it against the GROUP clock so every
+          // replica reaches the same verdict.
+          const ccs::TimeVal now = co_await sys_.gettimeofday();
+          if (lease_blocks(it->second, owner, now.total_us())) {
+            reply = make_reply(KvStatus::kLeaseHeld);
+            break;
+          }
+        }
+        Entry& e = entries_[key];
+        e.value = value;
+        ++e.version;
+        reply = make_reply(KvStatus::kOk, "", e.version);
+        break;
+      }
+      case KvOp::kGet: {
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+          reply = make_reply(KvStatus::kNotFound);
+        } else {
+          reply = make_reply(KvStatus::kOk, it->second.value, it->second.version);
+        }
+        break;
+      }
+      case KvOp::kDelete: {
+        const std::uint64_t owner = r.u64();
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+          reply = make_reply(KvStatus::kNotFound);
+          break;
+        }
+        if (it->second.lease_owner != 0) {
+          const ccs::TimeVal now = co_await sys_.gettimeofday();
+          if (lease_blocks(it->second, owner, now.total_us())) {
+            reply = make_reply(KvStatus::kLeaseHeld);
+            break;
+          }
+        }
+        entries_.erase(it);
+        reply = make_reply(KvStatus::kOk);
+        break;
+      }
+      case KvOp::kAcquire: {
+        const std::uint64_t owner = r.u64();
+        const Micros ttl = r.i64();
+        if (owner == 0 || ttl <= 0) {
+          reply = make_reply(KvStatus::kBadRequest);
+          break;
+        }
+        const ccs::TimeVal now = co_await sys_.gettimeofday();
+        Entry& e = entries_[key];  // acquiring creates the key if absent
+        if (lease_blocks(e, owner, now.total_us())) {
+          reply = make_reply(KvStatus::kLeaseDenied, "", e.version, e.lease_expiry);
+          break;
+        }
+        e.lease_owner = owner;
+        e.lease_expiry = now.total_us() + ttl;
+        e.lease_grant = ++grant_counter_;
+        arm_expiry(key, e.lease_grant, e.lease_expiry);
+        reply = make_reply(KvStatus::kOk, "", e.version, e.lease_expiry);
+        break;
+      }
+      case KvOp::kRelease: {
+        const std::uint64_t owner = r.u64();
+        auto it = entries_.find(key);
+        if (it == entries_.end() || it->second.lease_owner != owner) {
+          reply = make_reply(KvStatus::kLeaseDenied);
+          break;
+        }
+        it->second.lease_owner = 0;
+        it->second.lease_expiry = 0;
+        ++it->second.lease_grant;  // invalidates the pending expiry timer
+        reply = make_reply(KvStatus::kOk);
+        break;
+      }
+      case KvOp::kStats: {
+        reply = make_reply(KvStatus::kOk, "", 0, 0, entries_.size(), state_digest());
+        break;
+      }
+      default:
+        reply = make_reply(KvStatus::kBadRequest);
+    }
+  } catch (const CodecError&) {
+    reply = make_reply(KvStatus::kBadRequest);
+  }
+  done(std::move(reply));
+}
+
+std::uint64_t KvStoreApp::state_digest() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& [k, e] : entries_) {
+    h = hash_str(h, k);
+    h = hash_str(h, e.value);
+    h = hash_mix(h, e.version);
+    h = hash_mix(h, e.lease_owner);
+    h = hash_mix(h, static_cast<std::uint64_t>(e.lease_expiry));
+  }
+  return h;
+}
+
+Bytes KvStoreApp::checkpoint() const {
+  BytesWriter w;
+  w.u64(grant_counter_);
+  w.u64(leases_expired_);
+  w.u32(static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& [k, e] : entries_) {
+    w.str(k);
+    w.str(e.value);
+    w.u64(e.version);
+    w.u64(e.lease_owner);
+    w.i64(e.lease_expiry);
+    w.u64(e.lease_grant);
+  }
+  return std::move(w).take();
+}
+
+void KvStoreApp::restore(const Bytes& state) {
+  BytesReader r(state);
+  grant_counter_ = r.u64();
+  leases_expired_ = r.u64();
+  entries_.clear();
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string k = r.str();
+    Entry e;
+    e.value = r.str();
+    e.version = r.u64();
+    e.lease_owner = r.u64();
+    e.lease_expiry = r.i64();
+    e.lease_grant = r.u64();
+    // Re-arm expiry for live leases (the recovering replica's timers are
+    // empty; group-time deadlines transfer verbatim).
+    if (e.lease_owner != 0) arm_expiry(k, e.lease_grant, e.lease_expiry);
+    entries_.emplace(k, std::move(e));
+  }
+}
+
+std::uint32_t kv_shard_of(const gcs::Message& m) {
+  // Route by key so each key's operations stay on one shard (and therefore
+  // in one deterministic stream).
+  try {
+    BytesReader r(m.payload);
+    (void)r.u8();
+    const std::string key = r.str();
+    std::uint32_t h = 2166136261u;
+    for (unsigned char c : key) {
+      h ^= c;
+      h *= 16777619u;
+    }
+    return h;
+  } catch (const CodecError&) {
+    return 0;
+  }
+}
+
+replication::ReplicaFactory kv_store_factory(KvStoreApp::Options opt) {
+  return [opt](replication::ReplicaContext& ctx) {
+    return std::make_unique<KvStoreApp>(ctx, opt);
+  };
+}
+
+}  // namespace cts::app

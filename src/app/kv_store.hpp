@@ -1,0 +1,123 @@
+// A replicated key-value store with lease-based ownership — a realistic
+// application of the consistent time service.
+//
+// Leases are the classic place where clock non-determinism corrupts
+// replicated state: "is this lease still valid?" is answered by comparing
+// a clock reading against the expiry.  If replicas read their own hardware
+// clocks, one replica grants a lease another replica still considers held,
+// and the copies of the store diverge.  KvStoreApp answers every such
+// question with the GROUP clock, so all replicas make identical lease
+// decisions, and lease expiry (driven by GroupTimerService) fires at the
+// same logical instant everywhere.
+//
+// Operations (all requests arrive in agreed total order):
+//   PUT key value [owner]   — write; fails if the key is leased to someone
+//                             else and the lease has not expired
+//   GET key                 — read value + version (no clock round)
+//   DEL key [owner]         — delete, same lease check as PUT
+//   ACQUIRE key owner ttl   — take the lease if free / expired / yours;
+//                             reply carries the expiry in group time
+//   RELEASE key owner       — drop the lease if held by `owner`
+//   STATS                   — deterministic state digest (for tests)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "cts/group_timers.hpp"
+#include "cts/time_syscalls.hpp"
+#include "gcs/gcs.hpp"
+#include "replication/replica.hpp"
+
+namespace cts::app {
+
+enum class KvOp : std::uint8_t {
+  kPut = 1,
+  kGet = 2,
+  kDelete = 3,
+  kAcquire = 4,
+  kRelease = 5,
+  kStats = 6,
+};
+
+enum class KvStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kLeaseHeld = 2,   // someone else's unexpired lease blocks the write
+  kLeaseDenied = 3, // acquire refused
+  kBadRequest = 4,
+};
+
+[[nodiscard]] const char* to_string(KvStatus s);
+
+// --- Client-side request builders / reply parsers ------------------------------
+
+Bytes kv_put(const std::string& key, const std::string& value, std::uint64_t owner = 0);
+Bytes kv_get(const std::string& key);
+Bytes kv_del(const std::string& key, std::uint64_t owner = 0);
+Bytes kv_acquire(const std::string& key, std::uint64_t owner, Micros ttl_us);
+Bytes kv_release(const std::string& key, std::uint64_t owner);
+Bytes kv_stats();
+
+struct KvReply {
+  KvStatus status = KvStatus::kBadRequest;
+  std::string value;        // kGet
+  std::uint64_t version = 0;
+  Micros lease_expiry = 0;  // kAcquire (group time)
+  std::uint64_t key_count = 0;     // kStats
+  std::uint64_t state_digest = 0;  // kStats
+
+  static KvReply parse(const Bytes& b);
+};
+
+// --- The replicated store --------------------------------------------------------
+
+class KvStoreApp : public replication::Replica {
+ public:
+  struct Options {
+    /// Lease-expiry sweep granularity for the deterministic timers.
+    Micros timer_poll_us = 1'000;
+  };
+
+  KvStoreApp(replication::ReplicaContext& ctx, Options opt);
+
+  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override;
+  [[nodiscard]] Bytes checkpoint() const override;
+  void restore(const Bytes& state) override;
+
+  // Introspection for tests (all replica-deterministic).
+  [[nodiscard]] std::uint64_t state_digest() const;
+  [[nodiscard]] std::size_t key_count() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t leases_expired() const { return leases_expired_; }
+
+ private:
+  struct Entry {
+    std::string value;
+    std::uint64_t version = 0;
+    std::uint64_t lease_owner = 0;  // 0 = unleased
+    Micros lease_expiry = 0;        // group time
+    std::uint64_t lease_grant = 0;  // distinguishes successive leases
+  };
+
+  sim::Task serve(Bytes request, std::function<void(Bytes)> done);
+  [[nodiscard]] bool lease_blocks(const Entry& e, std::uint64_t owner, Micros now) const;
+  void arm_expiry(const std::string& key, std::uint64_t grant, Micros expiry);
+
+  replication::ReplicaContext& ctx_;
+  ccs::TimeSyscalls sys_;
+  ccs::GroupTimerService timers_;
+  Options opt_;
+
+  std::map<std::string, Entry> entries_;
+  std::uint64_t grant_counter_ = 0;
+  std::uint64_t leases_expired_ = 0;
+};
+
+replication::ReplicaFactory kv_store_factory(KvStoreApp::Options opt = {});
+
+/// Deterministic request→shard routing for sharded KV deployments: hashes
+/// the key, so all operations on one key share one processing thread.
+std::uint32_t kv_shard_of(const gcs::Message& m);
+
+}  // namespace cts::app

@@ -1,0 +1,209 @@
+#include "app/session_manager.hpp"
+
+namespace cts::app {
+
+// --- Client-side helpers ---------------------------------------------------------
+
+Bytes session_open(Micros ttl_us) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(SessionOp::kOpen));
+  w.i64(ttl_us);
+  return std::move(w).take();
+}
+
+namespace {
+Bytes with_id(SessionOp op, std::uint64_t id) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(id);
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes session_touch(std::uint64_t id) { return with_id(SessionOp::kTouch, id); }
+Bytes session_close(std::uint64_t id) { return with_id(SessionOp::kClose, id); }
+Bytes session_query(std::uint64_t id) { return with_id(SessionOp::kQuery, id); }
+
+Bytes session_count() {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(SessionOp::kCount));
+  return std::move(w).take();
+}
+
+SessionReply SessionReply::parse(const Bytes& b) {
+  BytesReader r(b);
+  SessionReply out;
+  out.status = static_cast<SessionStatus>(r.u8());
+  out.session_id = r.u64();
+  out.stamp = r.i64();
+  out.live_count = r.u64();
+  out.digest = r.u64();
+  return out;
+}
+
+namespace {
+Bytes make_reply(SessionStatus status, std::uint64_t id = 0, Micros stamp = 0,
+                 std::uint64_t live = 0, std::uint64_t digest = 0) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.u64(id);
+  w.i64(stamp);
+  w.u64(live);
+  w.u64(digest);
+  return std::move(w).take();
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+// --- SessionManagerApp ---------------------------------------------------------------
+
+SessionManagerApp::SessionManagerApp(replication::ReplicaContext& ctx)
+    : ctx_(ctx),
+      sys_(ctx.time, ctx.processing_thread),
+      // Derived thread ids keep shards (and other apps on the same
+      // service) from colliding; same derivation at every replica.
+      timers_(ctx.time,
+              ccs::GroupTimerService::Config{ThreadId{ctx.processing_thread.value + 2000}, 1'000}),
+      ids_(ctx.time, ThreadId{ctx.processing_thread.value + 3000},
+           /*ns=*/ctx.group.value * 1000 + ctx.processing_thread.value) {}
+
+void SessionManagerApp::handle_request(const Bytes& request, std::function<void(Bytes)> done) {
+  serve(request, std::move(done));
+}
+
+void SessionManagerApp::arm_reaper(std::uint64_t id, std::uint64_t epoch, Micros deadline) {
+  timers_.schedule_at(deadline, [this, id, epoch](Micros now) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end() || it->second.epoch != epoch) return;  // touched/closed since
+    if (it->second.last_activity + it->second.ttl > now) {
+      // Touched between arming and firing (epoch unchanged only when the
+      // touch path forgot to bump — it never does — but stay defensive).
+      return;
+    }
+    sessions_.erase(it);
+    ++reaped_;
+  });
+}
+
+sim::Task SessionManagerApp::serve(Bytes request, std::function<void(Bytes)> done) {
+  BytesReader r(request);
+  Bytes reply;
+  try {
+    const auto op = static_cast<SessionOp>(r.u8());
+    switch (op) {
+      case SessionOp::kOpen: {
+        const Micros ttl = r.i64();
+        if (ttl <= 0) {
+          reply = make_reply(SessionStatus::kBadRequest);
+          break;
+        }
+        const std::uint64_t id = co_await ids_.make_id();
+        const ccs::TimeVal now = co_await sys_.gettimeofday();
+        Session s;
+        s.ttl = ttl;
+        s.last_activity = now.total_us();
+        s.epoch = ++epoch_counter_;
+        sessions_[id] = s;
+        arm_reaper(id, s.epoch, s.last_activity + ttl);
+        reply = make_reply(SessionStatus::kOk, id, s.last_activity + ttl);
+        break;
+      }
+      case SessionOp::kTouch: {
+        const std::uint64_t id = r.u64();
+        auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+          reply = make_reply(SessionStatus::kUnknownSession);
+          break;
+        }
+        const ccs::TimeVal now = co_await sys_.gettimeofday();
+        it->second.last_activity = now.total_us();
+        it->second.epoch = ++epoch_counter_;
+        arm_reaper(id, it->second.epoch, it->second.last_activity + it->second.ttl);
+        reply = make_reply(SessionStatus::kOk, id, it->second.last_activity + it->second.ttl);
+        break;
+      }
+      case SessionOp::kClose: {
+        const std::uint64_t id = r.u64();
+        if (sessions_.erase(id) == 0) {
+          reply = make_reply(SessionStatus::kUnknownSession);
+        } else {
+          reply = make_reply(SessionStatus::kOk, id);
+        }
+        break;
+      }
+      case SessionOp::kQuery: {
+        const std::uint64_t id = r.u64();
+        auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+          reply = make_reply(SessionStatus::kUnknownSession);
+        } else {
+          reply = make_reply(SessionStatus::kOk, id, it->second.last_activity);
+        }
+        break;
+      }
+      case SessionOp::kCount: {
+        reply = make_reply(SessionStatus::kOk, 0, 0, sessions_.size(), state_digest());
+        break;
+      }
+      default:
+        reply = make_reply(SessionStatus::kBadRequest);
+    }
+  } catch (const CodecError&) {
+    reply = make_reply(SessionStatus::kBadRequest);
+  }
+  done(std::move(reply));
+}
+
+std::uint64_t SessionManagerApp::state_digest() const {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const auto& [id, s] : sessions_) {
+    h = mix64(h, id);
+    h = mix64(h, static_cast<std::uint64_t>(s.ttl));
+    h = mix64(h, static_cast<std::uint64_t>(s.last_activity));
+  }
+  h = mix64(h, reaped_);
+  return h;
+}
+
+Bytes SessionManagerApp::checkpoint() const {
+  BytesWriter w;
+  w.u64(epoch_counter_);
+  w.u64(reaped_);
+  w.u32(static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [id, s] : sessions_) {
+    w.u64(id);
+    w.i64(s.ttl);
+    w.i64(s.last_activity);
+    w.u64(s.epoch);
+  }
+  return std::move(w).take();
+}
+
+void SessionManagerApp::restore(const Bytes& state) {
+  BytesReader r(state);
+  epoch_counter_ = r.u64();
+  reaped_ = r.u64();
+  sessions_.clear();
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t id = r.u64();
+    Session s;
+    s.ttl = r.i64();
+    s.last_activity = r.i64();
+    s.epoch = r.u64();
+    sessions_[id] = s;
+    arm_reaper(id, s.epoch, s.last_activity + s.ttl);
+  }
+}
+
+replication::ReplicaFactory session_manager_factory() {
+  return [](replication::ReplicaContext& ctx) {
+    return std::make_unique<SessionManagerApp>(ctx);
+  };
+}
+
+}  // namespace cts::app

@@ -1,0 +1,96 @@
+// A replicated session manager — the paper's "transaction session
+// management" motivation (Section 1) as a standalone application.
+//
+// Sessions are created with a time-to-live, renewed by touching, and
+// reaped when idle past their TTL.  Every time-dependent decision — the
+// session id, the creation stamp, the idle check, the reaping instant —
+// comes from the group clock, so all replicas agree on which sessions
+// exist at every logical point, across failover and recovery.
+//
+// Operations (ordered requests):
+//   OPEN ttl                → new session id (deterministic), expiry stamp
+//   TOUCH id                → extend the session's idle deadline
+//   CLOSE id                → explicit termination
+//   QUERY id                → alive? + last-activity stamp
+//   COUNT                   → live-session count + deterministic digest
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "cts/group_timers.hpp"
+#include "cts/id_gen.hpp"
+#include "cts/time_syscalls.hpp"
+#include "replication/replica.hpp"
+
+namespace cts::app {
+
+enum class SessionOp : std::uint8_t {
+  kOpen = 1,
+  kTouch = 2,
+  kClose = 3,
+  kQuery = 4,
+  kCount = 5,
+};
+
+enum class SessionStatus : std::uint8_t {
+  kOk = 0,
+  kUnknownSession = 1,  // never existed, expired, or closed
+  kBadRequest = 2,
+};
+
+// --- Client-side helpers ---------------------------------------------------------
+
+Bytes session_open(Micros ttl_us);
+Bytes session_touch(std::uint64_t id);
+Bytes session_close(std::uint64_t id);
+Bytes session_query(std::uint64_t id);
+Bytes session_count();
+
+struct SessionReply {
+  SessionStatus status = SessionStatus::kBadRequest;
+  std::uint64_t session_id = 0;
+  Micros stamp = 0;  // creation/last-activity/expiry stamp, group time
+  std::uint64_t live_count = 0;
+  std::uint64_t digest = 0;
+
+  static SessionReply parse(const Bytes& b);
+};
+
+// --- The replicated manager --------------------------------------------------------
+
+class SessionManagerApp : public replication::Replica {
+ public:
+  explicit SessionManagerApp(replication::ReplicaContext& ctx);
+
+  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override;
+  [[nodiscard]] Bytes checkpoint() const override;
+  void restore(const Bytes& state) override;
+
+  [[nodiscard]] std::uint64_t state_digest() const;
+  [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::uint64_t sessions_reaped() const { return reaped_; }
+
+ private:
+  struct Session {
+    Micros ttl = 0;
+    Micros last_activity = 0;  // group time
+    std::uint64_t epoch = 0;   // distinguishes successive reap timers
+  };
+
+  sim::Task serve(Bytes request, std::function<void(Bytes)> done);
+  void arm_reaper(std::uint64_t id, std::uint64_t epoch, Micros deadline);
+
+  replication::ReplicaContext& ctx_;
+  ccs::TimeSyscalls sys_;
+  ccs::GroupTimerService timers_;
+  ccs::ConsistentIdGenerator ids_;
+
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t epoch_counter_ = 0;
+  std::uint64_t reaped_ = 0;
+};
+
+replication::ReplicaFactory session_manager_factory();
+
+}  // namespace cts::app

@@ -1,0 +1,224 @@
+// A full simulated instance of the paper's experimental setup (Section 4.2):
+//
+//   "four Pentium III PCs ... over a 100Mbit/sec Ethernet ... Four copies of
+//    Totem run on the four PCs, one for each PC ... a CORBA client makes a
+//    remote method invocation on a three-way actively replicated server.
+//    The client runs as the ring leader, n0.  One replica of the server
+//    runs on each of the other three nodes, n1, n2 and n3."
+//
+// The Testbed wires together the whole stack per node — Totem, the GCS
+// endpoint, a drifting physical hardware clock, the replication manager
+// with its Consistent Time Service, and the application replica — plus an
+// unreplicated RMI client on node 0.  Used by integration tests, every
+// benchmark, and the examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/time_server.hpp"
+#include "clock/physical_clock.hpp"
+#include "cts/consistent_time_service.hpp"
+#include "gcs/gcs.hpp"
+#include "net/network.hpp"
+#include "orb/rmi_client.hpp"
+#include "replication/replica_manager.hpp"
+#include "sim/simulator.hpp"
+#include "storage/stable_store.hpp"
+#include "totem/totem.hpp"
+
+namespace cts::app {
+
+struct TestbedConfig {
+  /// Number of server replicas (each on its own node).
+  std::size_t servers = 3;
+  /// Whether node 0 hosts an unreplicated client (the ring leader).
+  bool with_client = true;
+
+  replication::ReplicationStyle style = replication::ReplicationStyle::kActive;
+  std::uint64_t seed = 1;
+
+  net::NetworkConfig net;
+  totem::TotemConfig totem;  // universe is filled in automatically
+
+  /// Physical clock diversity.
+  Micros max_clock_offset_us = 500'000;
+  double max_drift_ppm = 50.0;
+
+  /// Consistent Time Service options.
+  ccs::DriftCompensation drift = ccs::DriftCompensation::kNone;
+  Micros mean_delay_us = 0;
+  double reference_gain = 0.0;
+
+  /// Passive replication checkpoint cadence (requests).
+  std::uint32_t checkpoint_every = 0;
+
+  /// Request-processing shards per replica and the routing function
+  /// (active/semi-active only).
+  std::uint32_t shards = 1;
+  std::function<std::uint32_t(const gcs::Message&)> shard_fn;
+
+  /// Give every server host a simulated local disk and persist checkpoints
+  /// to it, enabling cold starts after a total failure.
+  bool with_stable_storage = false;
+  std::uint32_t persist_every = 0;
+
+  /// Application factory; defaults to the paper's time server.
+  replication::ReplicaFactory factory;
+};
+
+/// Well-known ids used by the testbed.
+struct TestbedIds {
+  static constexpr GroupId kServerGroup{1};
+  static constexpr GroupId kClientGroup{2};
+  static constexpr ConnectionId kRequestConn{1};
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg) : cfg_(std::move(cfg)), sim_(cfg_.seed), net_(sim_, cfg_.net) {
+    const std::size_t nodes = cfg_.servers + (cfg_.with_client ? 1 : 0);
+    totem::TotemConfig tcfg = cfg_.totem;
+    tcfg.universe.clear();
+    for (std::uint32_t i = 0; i < nodes; ++i) tcfg.universe.push_back(NodeId{i});
+
+    if (!cfg_.factory) cfg_.factory = time_server_factory();
+
+    Rng clock_rng(cfg_.seed * 7919 + 13);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      totems_.push_back(std::make_unique<totem::TotemNode>(sim_, net_, NodeId{i}, tcfg));
+      eps_.push_back(std::make_unique<gcs::GcsEndpoint>(sim_, *totems_.back()));
+      clocks_.push_back(std::make_unique<clock::PhysicalClock>(
+          sim_, clock::random_clock_config(clock_rng, cfg_.max_clock_offset_us,
+                                           cfg_.max_drift_ppm)));
+    }
+
+    const std::uint32_t first_server = cfg_.with_client ? 1 : 0;
+    if (cfg_.with_stable_storage) {
+      for (std::uint32_t s = 0; s < cfg_.servers; ++s) {
+        stores_.push_back(std::make_unique<storage::StableStore>(
+            sim_, storage::StableStore::Config{}, cfg_.seed * 101 + s));
+      }
+    }
+    for (std::uint32_t s = 0; s < cfg_.servers; ++s) {
+      const std::uint32_t node = first_server + s;
+      replication::ManagerConfig mcfg;
+      mcfg.group = TestbedIds::kServerGroup;
+      mcfg.replica = ReplicaId{s};
+      mcfg.style = cfg_.style;
+      mcfg.drift = cfg_.drift;
+      mcfg.mean_delay_us = cfg_.mean_delay_us;
+      mcfg.reference_gain = cfg_.reference_gain;
+      mcfg.checkpoint_every_requests = cfg_.checkpoint_every;
+      mcfg.shards = cfg_.shards;
+      mcfg.shard_fn = cfg_.shard_fn;
+      if (cfg_.with_stable_storage) {
+        mcfg.stable_store = stores_[s].get();
+        mcfg.persist_every_requests = cfg_.persist_every;
+      }
+      managers_.push_back(std::make_unique<replication::ReplicaManager>(
+          sim_, *eps_[node], *clocks_[node], mcfg, cfg_.factory));
+    }
+
+    if (cfg_.with_client) {
+      client_ = std::make_unique<orb::RmiClient>(sim_, *eps_[0], TestbedIds::kClientGroup,
+                                                 TestbedIds::kServerGroup,
+                                                 TestbedIds::kRequestConn);
+    }
+  }
+
+  /// Boot every node and let the ring form and the group views settle.
+  void start(Micros settle_us = 200'000) {
+    for (auto& t : totems_) t->start();
+    for (auto& m : managers_) m->start();
+    sim_.run_for(settle_us);
+  }
+
+  // --- Accessors --------------------------------------------------------------
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& net() { return net_; }
+  orb::RmiClient& client() { return *client_; }
+  [[nodiscard]] std::size_t server_count() const { return managers_.size(); }
+
+  /// Node index hosting server replica s.
+  [[nodiscard]] std::uint32_t server_node(std::uint32_t s) const {
+    return (cfg_.with_client ? 1 : 0) + s;
+  }
+
+  replication::ReplicaManager& server(std::uint32_t s) { return *managers_[s]; }
+  totem::TotemNode& totem_of(std::uint32_t node) { return *totems_[node]; }
+  gcs::GcsEndpoint& gcs_of(std::uint32_t node) { return *eps_[node]; }
+  clock::PhysicalClock& clock_of(std::uint32_t node) { return *clocks_[node]; }
+  TimeServerApp& server_app(std::uint32_t s) {
+    return static_cast<TimeServerApp&>(managers_[s]->app());
+  }
+  const TestbedConfig& config() const { return cfg_; }
+
+  // --- Fault injection ----------------------------------------------------------
+
+  /// Fail-stop crash of server replica s (host + clock + protocol stack).
+  void crash_server(std::uint32_t s) {
+    const auto node = server_node(s);
+    totems_[node]->crash();
+    clocks_[node]->fail();
+  }
+
+  /// Restart server replica s's host and rejoin via state transfer.  The
+  /// whole process is rebuilt — a fresh GCS endpoint and replica manager —
+  /// and the hardware clock comes back with a new arbitrary offset
+  /// (a reboot does not preserve the system time).
+  void restart_server(std::uint32_t s, std::function<void()> recovered = nullptr) {
+    const auto node = server_node(s);
+    const replication::ManagerConfig mcfg = managers_[s]->config();
+
+    // Tear down the dead process before rebuilding on the same host: the
+    // old manager (and its time service) must not keep subscriptions into
+    // the endpoint it is being replaced on.
+    managers_[s].reset();
+    eps_[node] = std::make_unique<gcs::GcsEndpoint>(sim_, *totems_[node]);
+
+    clocks_[node]->restart(clock_restart_rng_.range(-cfg_.max_clock_offset_us,
+                                                    cfg_.max_clock_offset_us));
+    totems_[node]->restart();
+
+    managers_[s] = std::make_unique<replication::ReplicaManager>(sim_, *eps_[node],
+                                                                 *clocks_[node], mcfg,
+                                                                 cfg_.factory);
+    managers_[s]->start_recovering(std::move(recovered));
+  }
+
+  /// Restart server replica s after a TOTAL failure: rebuild the process
+  /// and start from the host's local disk instead of a peer's checkpoint.
+  void cold_restart_server(std::uint32_t s) {
+    const auto node = server_node(s);
+    const replication::ManagerConfig mcfg = managers_[s]->config();
+    managers_[s].reset();
+    eps_[node] = std::make_unique<gcs::GcsEndpoint>(sim_, *totems_[node]);
+    clocks_[node]->restart(clock_restart_rng_.range(-cfg_.max_clock_offset_us,
+                                                    cfg_.max_clock_offset_us));
+    totems_[node]->restart();
+    managers_[s] = std::make_unique<replication::ReplicaManager>(sim_, *eps_[node],
+                                                                 *clocks_[node], mcfg,
+                                                                 cfg_.factory);
+    managers_[s]->start_cold();
+  }
+
+  storage::StableStore& store_of(std::uint32_t s) { return *stores_[s]; }
+
+ private:
+  TestbedConfig cfg_;
+  sim::Simulator sim_;
+  net::Network net_;
+  std::vector<std::unique_ptr<totem::TotemNode>> totems_;
+  std::vector<std::unique_ptr<gcs::GcsEndpoint>> eps_;
+  std::vector<std::unique_ptr<clock::PhysicalClock>> clocks_;
+  std::vector<std::unique_ptr<replication::ReplicaManager>> managers_;
+  std::vector<std::unique_ptr<storage::StableStore>> stores_;
+  std::unique_ptr<orb::RmiClient> client_;
+  Rng clock_restart_rng_{0xC10Cu};
+};
+
+}  // namespace cts::app

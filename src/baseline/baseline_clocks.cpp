@@ -1,0 +1,92 @@
+#include "baseline/baseline_clocks.hpp"
+
+#include "common/bytes.hpp"
+
+namespace cts::baseline {
+
+// --- PrimaryBackupClockService ------------------------------------------------
+
+PrimaryBackupClockService::PrimaryBackupClockService(sim::Simulator& sim,
+                                                     gcs::GcsEndpoint& gcs, ClockFn read_clock,
+                                                     GroupId group, ConnectionId conn,
+                                                     ReplicaId replica)
+    : sim_(sim), gcs_(gcs), read_clock_(std::move(read_clock)), group_(group), conn_(conn),
+      replica_(replica) {
+  gcs_.subscribe(group_, [this](const gcs::Message& m) {
+    if (m.hdr.type == gcs::MsgType::kCcs && m.hdr.conn == conn_) on_delivered(m);
+  });
+}
+
+void PrimaryBackupClockService::read(ThreadId thread, DoneFn done) {
+  PerThread& pt = threads_[thread];
+  ++pt.seq;
+  pt.waiting = std::move(done);
+  pt.sent = false;
+  // Only the primary distributes a reading; backups wait for it.  Unlike
+  // the CTS algorithm there is no proposal competition and no offset: the
+  // value is the primary's raw hardware clock.
+  if (primary_ && pt.buffer.empty()) send_reading(thread, pt);
+  try_complete(pt);
+}
+
+void PrimaryBackupClockService::send_reading(ThreadId t, PerThread& pt) {
+  gcs::Message m;
+  m.hdr.type = gcs::MsgType::kCcs;
+  m.hdr.src_grp = group_;
+  m.hdr.dst_grp = group_;
+  m.hdr.conn = conn_;
+  m.hdr.tag = t;
+  m.hdr.seq = pt.seq;
+  m.hdr.sender_replica = replica_;
+  BytesWriter w;
+  w.i64(read_clock_());  // the primary's own clock — the defect under test
+  m.payload = std::move(w).take();
+  gcs_.send(std::move(m));
+  pt.sent = true;
+}
+
+void PrimaryBackupClockService::on_delivered(const gcs::Message& m) {
+  BytesReader r(m.payload);
+  const Micros value = r.i64();
+  PerThread& pt = threads_[m.hdr.tag];
+  pt.buffer.push_back(value);
+  try_complete(pt);
+}
+
+void PrimaryBackupClockService::try_complete(PerThread& pt) {
+  if (!pt.waiting || pt.buffer.empty()) return;
+  const Micros v = pt.buffer.front();
+  pt.buffer.pop_front();
+  auto done = std::move(pt.waiting);
+  pt.waiting = nullptr;
+  done(v);
+}
+
+void PrimaryBackupClockService::set_primary(bool primary) {
+  const bool promoted = primary && !primary_;
+  primary_ = primary;
+  if (!promoted) return;
+  // Failover: complete any blocked reading from OUR raw clock.  The old
+  // primary's value may be lost forever; nothing reconciles the two clocks,
+  // so the reading the application sees may go backwards.
+  for (auto& [t, pt] : threads_) {
+    if (pt.waiting && pt.buffer.empty() && !pt.sent) send_reading(t, pt);
+  }
+}
+
+// --- NtpDisciplinedClock ----------------------------------------------------------
+
+NtpDisciplinedClock::NtpDisciplinedClock(sim::Simulator& sim, clock::PhysicalClock& clk,
+                                         clock::ReferenceTimeSource& ref, Config cfg)
+    : sim_(sim), clock_(clk), ref_(ref), cfg_(cfg) {
+  sim_.after(cfg_.poll_interval_us, [this] { poll(); });
+}
+
+void NtpDisciplinedClock::poll() {
+  if (stopped_ || !clock_.alive()) return;
+  const Micros err = ref_.read() - read();
+  correction_ += static_cast<Micros>(cfg_.gain * static_cast<double>(err));
+  sim_.after(cfg_.poll_interval_us, [this] { poll(); });
+}
+
+}  // namespace cts::baseline

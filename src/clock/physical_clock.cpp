@@ -1,0 +1,12 @@
+#include "clock/physical_clock.hpp"
+
+namespace cts::clock {
+
+ClockConfig random_clock_config(Rng& rng, Micros max_offset_us, double max_drift_ppm) {
+  ClockConfig cfg;
+  cfg.initial_offset_us = rng.range(-max_offset_us, max_offset_us);
+  cfg.drift_ppm = (rng.uniform() * 2.0 - 1.0) * max_drift_ppm;
+  return cfg;
+}
+
+}  // namespace cts::clock

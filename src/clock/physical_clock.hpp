@@ -1,0 +1,121 @@
+// Physical hardware clock model.
+//
+// Each simulated host owns one PhysicalClock.  The paper assumes clocks are
+// fail-stop (a non-faulty replica never reports a wrong value) but makes no
+// synchronization assumption: clocks may start at arbitrary offsets from
+// real time and drift at tens of parts-per-million, and readings are
+// quantized to the timer granularity of the host OS.
+//
+// The consistent time service deliberately does NOT synchronize these
+// clocks; it distributes one replica's reading per round.  The baselines
+// (src/baseline) read them directly, which is what exposes the roll-back /
+// fast-forward anomalies of Section 1.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::clock {
+
+/// Parameters for one host's hardware clock.
+struct ClockConfig {
+  /// Initial offset of the clock from real (simulated) time, microseconds.
+  Micros initial_offset_us = 0;
+  /// Frequency error in parts-per-million.  +20 means the clock gains 20us
+  /// per simulated second.  Commodity crystals are within ~±50 ppm.
+  double drift_ppm = 0.0;
+  /// Reading granularity in microseconds (1 = gettimeofday on Linux 2.x).
+  Micros granularity_us = 1;
+  /// Epoch base added to all readings, so clock values look like wall-clock
+  /// timestamps rather than small numbers.  Defaults to 2003-06-23 00:00 UTC
+  /// (the week of DSN 2003) in microseconds since the Unix epoch.
+  Micros epoch_us = 1056326400LL * 1000000LL;
+};
+
+/// Draw a plausible commodity-PC clock configuration: offset uniform in
+/// ±`max_offset_us`, drift uniform in ±`max_drift_ppm`.
+ClockConfig random_clock_config(Rng& rng, Micros max_offset_us = 500'000,
+                                double max_drift_ppm = 50.0);
+
+/// A drifting, granular, fail-stop hardware clock driven by simulated time.
+class PhysicalClock {
+ public:
+  PhysicalClock(sim::Simulator& sim, ClockConfig cfg) : sim_(sim), cfg_(cfg) {}
+
+  /// Read the clock — the moral equivalent of gettimeofday().
+  /// Precondition: the clock (host) has not failed.
+  [[nodiscard]] Micros read() const {
+    assert(alive_ && "fail-stop clock read after failure");
+    const double t = static_cast<double>(sim_.now());
+    const double skewed = t * (1.0 + cfg_.drift_ppm * 1e-6);
+    Micros value = cfg_.epoch_us + cfg_.initial_offset_us + static_cast<Micros>(skewed);
+    if (cfg_.granularity_us > 1) value -= value % cfg_.granularity_us;
+    return value;
+  }
+
+  /// Reading relative to the first reading ever taken — used by the
+  /// Figure 6(c) normalization ("physical hardware clock values are
+  /// normalized by subtracting the value obtained in the initial round").
+  [[nodiscard]] Micros read_normalized() {
+    const Micros v = read();
+    if (base_ == kNoTime) base_ = v;
+    return v - base_;
+  }
+
+  /// Step the clock by `delta` (what an operator's `date -s` or an NTP
+  /// step adjustment does).  Steps are the classic way a "synchronized"
+  /// host wrecks timestamp-dependent software; the consistent time service
+  /// absorbs them into the offset within one round.
+  void step(Micros delta) { cfg_.initial_offset_us += delta; }
+
+  /// Fail-stop: after this, read() is a programming error.
+  void fail() { alive_ = false; }
+  /// A restarted host gets a fresh (still unsynchronized) clock; model the
+  /// reboot by re-enabling reads and perturbing the offset.
+  void restart(Micros new_offset_us) {
+    alive_ = true;
+    cfg_.initial_offset_us = new_offset_us;
+    base_ = kNoTime;
+  }
+
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] const ClockConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulator& sim_;
+  ClockConfig cfg_;
+  bool alive_ = true;
+  Micros base_ = kNoTime;
+};
+
+/// A drift-free external time source with bounded transient skew — the
+/// stand-in for NTP/GPS in the Section 3.3 drift-compensation strategy.
+/// Readings equal real (simulated) time plus a bounded random-walk error.
+class ReferenceTimeSource {
+ public:
+  ReferenceTimeSource(sim::Simulator& sim, Rng rng, Micros max_skew_us = 1000,
+                      Micros epoch_us = 1056326400LL * 1000000LL)
+      : sim_(sim), rng_(rng), max_skew_us_(max_skew_us), epoch_us_(epoch_us) {}
+
+  /// Read the reference: real time + transient skew, no drift.
+  [[nodiscard]] Micros read() {
+    // Random-walk the skew by +/-10us per read, clamped to +/-max_skew.
+    skew_us_ += rng_.range(-10, 10);
+    if (skew_us_ > max_skew_us_) skew_us_ = max_skew_us_;
+    if (skew_us_ < -max_skew_us_) skew_us_ = -max_skew_us_;
+    return epoch_us_ + sim_.now() + skew_us_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  Rng rng_;
+  Micros max_skew_us_;
+  Micros epoch_us_;
+  Micros skew_us_ = 0;
+};
+
+}  // namespace cts::clock

@@ -1,0 +1,122 @@
+// Byte-level message codec.
+//
+// Every protocol message in the system (Totem tokens, regular messages, CCS
+// control messages, checkpoints) is serialized through these two helpers so
+// that what crosses the simulated wire is a flat byte buffer — exactly what
+// would cross a real network.  Encoding is little-endian fixed-width.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cts {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by BytesReader when a read runs past the end of the buffer or a
+/// length prefix is inconsistent — i.e. the message is malformed.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian values to a growing byte buffer.
+class BytesWriter {
+ public:
+  BytesWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put(v); }
+  void u32(std::uint32_t v) { put(v); }
+  void u64(std::uint64_t v) { put(v); }
+  void i64(std::int64_t v) { put(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Length-prefixed (u32) raw bytes.
+  void bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put(T v) {
+    std::uint8_t tmp[sizeof(T)];
+    std::memcpy(tmp, &v, sizeof(T));
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
+  }
+
+  Bytes buf_;
+};
+
+/// Reads fixed-width little-endian values from a byte buffer; throws
+/// CodecError on truncation.
+class BytesReader {
+ public:
+  explicit BytesReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint16_t u16() { return get<std::uint16_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get<std::uint64_t>()); }
+  bool boolean() { return u8() != 0; }
+
+  Bytes bytes() {
+    const auto n = u32();
+    require(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const auto n = u32();
+    require(n);
+    std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Number of unread bytes remaining.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  void require(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw CodecError("truncated message: need " + std::to_string(n) + " bytes, have " +
+                       std::to_string(data_.size() - pos_));
+    }
+  }
+
+  template <typename T>
+  T get() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cts

@@ -1,0 +1,18 @@
+#include "common/histogram.hpp"
+
+#include <sstream>
+
+namespace cts {
+
+std::string Histogram::table(const std::string& label) const {
+  std::ostringstream out;
+  out << "# " << label << "  n=" << count() << "  mean=" << mean() << "us  p50=" << percentile(0.5)
+      << "us  p99=" << percentile(0.99) << "us  mode=" << mode_bin() << "us\n";
+  out << "bin_us\tdensity\n";
+  for (auto [bin, d] : density()) {
+    out << bin << "\t" << d << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cts

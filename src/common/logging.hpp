@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so the logger needs no synchronization.
+// Log lines carry the current simulated time when a Simulator is attached
+// (see sim::Simulator::attach_logger), which makes protocol traces readable.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cts {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide logging configuration.
+class Log {
+ public:
+  /// Minimum level that will be emitted.  Defaults to kWarn so tests and
+  /// benches stay quiet unless a failure is being investigated.
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  /// Hook returning a timestamp prefix (set by the simulator).
+  static std::function<std::string()>& time_source() {
+    static std::function<std::string()> src;
+    return src;
+  }
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  static void write(LogLevel lvl, const std::string& msg) {
+    static const char* names[] = {"TRACE", "DEBUG", "INFO ", "WARN ", "ERROR"};
+    std::string ts;
+    if (time_source()) ts = time_source()();
+    std::cerr << "[" << names[static_cast<int>(lvl)] << "]" << ts << " " << msg << "\n";
+  }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Log::write(lvl_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace cts
+
+#define CTS_LOG(lvl)                       \
+  if (!::cts::Log::enabled(lvl)) {         \
+  } else                                   \
+    ::cts::detail::LogLine(lvl)
+
+#define CTS_TRACE() CTS_LOG(::cts::LogLevel::kTrace)
+#define CTS_DEBUG() CTS_LOG(::cts::LogLevel::kDebug)
+#define CTS_INFO() CTS_LOG(::cts::LogLevel::kInfo)
+#define CTS_WARN() CTS_LOG(::cts::LogLevel::kWarn)
+#define CTS_ERROR() CTS_LOG(::cts::LogLevel::kError)

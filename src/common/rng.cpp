@@ -1,0 +1,9 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace cts {
+
+double Rng::log_approx(double v) { return std::log(v); }
+
+}  // namespace cts

@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the simulation (network jitter, packet loss,
+// workload inter-op delays, clock drift assignment) draws from an Rng seeded
+// from the experiment configuration, so each run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cts {
+
+/// xoshiro256** PRNG with a splitmix64 seeding sequence.  Fast, high
+/// quality, and fully deterministic across platforms (unlike std::
+/// distributions, whose output is implementation-defined).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t x = seed;
+    for (auto& w : s_) w = splitmix64(x);
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) — bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * log_approx(u);
+  }
+
+  /// Approximately normal value (sum of 12 uniforms, Irwin–Hall) with the
+  /// given mean and standard deviation.  Deterministic and branch-free;
+  /// accuracy is ample for modeling jitter.
+  double gaussian(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += uniform();
+    return mean + (acc - 6.0) * stddev;
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Natural log via the standard library would be fine, but keep a local
+  // wrapper so the header needs no <cmath> for one call site.
+  static double log_approx(double v);
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace cts

@@ -1,0 +1,17 @@
+#include "common/types.hpp"
+
+namespace cts {
+
+namespace {
+std::string fmt(const char* prefix, std::uint32_t v) {
+  return std::string(prefix) + std::to_string(v);
+}
+}  // namespace
+
+std::string to_string(NodeId id) { return fmt("n", id.value); }
+std::string to_string(GroupId id) { return fmt("g", id.value); }
+std::string to_string(ConnectionId id) { return fmt("c", id.value); }
+std::string to_string(ThreadId id) { return fmt("t", id.value); }
+std::string to_string(ReplicaId id) { return fmt("r", id.value); }
+
+}  // namespace cts

@@ -1,0 +1,368 @@
+#include "cts/consistent_time_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace cts::ccs {
+
+const char* to_string(ClockCallType t) {
+  switch (t) {
+    case ClockCallType::kGettimeofday:
+      return "gettimeofday";
+    case ClockCallType::kTime:
+      return "time";
+    case ClockCallType::kFtime:
+      return "ftime";
+    case ClockCallType::kClockGettime:
+      return "clock_gettime";
+  }
+  return "?";
+}
+
+ConsistentTimeService::ConsistentTimeService(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
+                                             clock::PhysicalClock& clk, CtsConfig cfg)
+    : sim_(sim), gcs_(gcs), clock_(clk), cfg_(cfg) {
+  // Paper initialization (Figure 2, lines 1-2): offset and round numbers
+  // start at zero, so the first CCS message carries the raw physical
+  // hardware clock value.
+  my_clock_offset_ = 0;
+
+  // In passive/semi-active styles a replica is a backup until the
+  // replication infrastructure promotes it; in active replication the flag
+  // is irrelevant (everyone competes).
+  primary_ = (cfg_.style == ReplicationStyle::kActive);
+
+  // The special-round handler exists from the start at every replica.
+  handlers_[kSpecialThread].my_thread_id = kSpecialThread;
+
+  gcs_.subscribe(cfg_.group, [this](const gcs::Message& m) {
+    if (m.hdr.type == gcs::MsgType::kCcs && m.hdr.conn == cfg_.ccs_conn) {
+      on_ccs_delivered(m);
+    }
+  });
+}
+
+// --- Thread registration ----------------------------------------------------------
+
+void ConsistentTimeService::register_thread(ThreadId t) {
+  auto [it, fresh] = handlers_.try_emplace(t);
+  if (!fresh) return;
+  it->second.my_thread_id = t;
+  // Drain CCS messages that arrived before the thread existed (paper 3.1:
+  // my_common_input_buffer).
+  auto cb = common_input_buffer_.find(t);
+  if (cb != common_input_buffer_.end()) {
+    for (auto& msg : cb->second) recv_into_handler(it->second, std::move(msg));
+    common_input_buffer_.erase(cb);
+  }
+}
+
+// --- The clock-related operation ----------------------------------------------------
+
+Micros ConsistentTimeService::propose_local_clock(Micros physical) {
+  // Paper Figure 2, line 4: local logical clock = physical + offset.
+  Micros local = physical + my_clock_offset_;
+  // Multi-group causality (Section 5): never propose at or below an
+  // observed remote timestamp.
+  if (causal_floor_ != kNoTime && local <= causal_floor_) local = causal_floor_ + 1;
+  if (cfg_.drift == DriftCompensation::kReferenceBias && reference_ != nullptr) {
+    // Section 3.3: add a small proportion of (reference − proposal) so the
+    // group clock acquires a repeated bias toward drift-free real time.
+    const Micros ref = reference_->read();
+    local += static_cast<Micros>(cfg_.reference_gain * static_cast<double>(ref - local));
+  }
+  return local;
+}
+
+void ConsistentTimeService::start_round(ThreadId thread, ClockCallType call_type, DoneFn done) {
+  register_thread(thread);  // idempotent; tolerates lazy registration
+  CcsHandler& h = handlers_.at(thread);
+  assert(!h.waiting && "clock-related operations within a thread are sequential");
+
+  // Figure 2, line 9: a new round begins.
+  ++h.my_round_number;
+
+  // Figure 2, lines 3-4.
+  h.pc_at_round = clock_.read();
+  h.proposed_at_round = propose_local_clock(h.pc_at_round);
+  h.call_type = call_type;
+  h.sent_this_round = false;
+  h.waiting = std::move(done);
+
+  // Figure 2, lines 11-13: send only if nothing is buffered for this round.
+  // Passive/semi-active backups never send (Section 3.3); if the primary
+  // dies, set_primary() re-issues the proposal.
+  if (h.my_input_buffer.empty()) {
+    const bool may_send = cfg_.style == ReplicationStyle::kActive || primary_;
+    if (may_send && !recovering_) send_proposal(h, /*special=*/false);
+  } else {
+    ++stats_.sends_avoided;
+  }
+
+  try_complete(h);
+}
+
+void ConsistentTimeService::send_proposal(CcsHandler& h, bool special) {
+  CcsPayload p;
+  p.thread = h.my_thread_id;
+  p.call_type = h.call_type;
+  p.proposed_clock = h.proposed_at_round;
+  p.special_round = special;
+
+  gcs::Message m;
+  m.hdr.type = gcs::MsgType::kCcs;
+  m.hdr.src_grp = cfg_.group;
+  m.hdr.dst_grp = cfg_.group;
+  m.hdr.conn = cfg_.ccs_conn;
+  m.hdr.tag = h.my_thread_id;
+  m.hdr.seq = h.my_round_number;
+  m.hdr.sender_replica = cfg_.replica;
+  m.payload = p.encode();
+  gcs_.send(std::move(m));
+  h.sent_this_round = true;
+  ++stats_.sends_initiated;
+}
+
+// --- Delivery path --------------------------------------------------------------------
+
+void ConsistentTimeService::on_ccs_delivered(const gcs::Message& m) {
+  CcsPayload p;
+  try {
+    p = CcsPayload::decode(m.payload);
+  } catch (const CodecError& e) {
+    CTS_WARN() << "malformed CCS payload: " << e.what();
+    return;
+  }
+
+  // Monotonicity guard, applied in the agreed delivery order so every
+  // replica computes the same effective value.  With the paper's single
+  // processing thread this never fires; with concurrent threads it
+  // guarantees the group clock cannot move backwards.
+  Micros effective = p.proposed_clock;
+  if (last_group_clock_ != kNoTime && effective <= last_group_clock_) {
+    effective = last_group_clock_ + 1;
+  }
+  if (cfg_.max_forward_jump_us > 0 && last_group_clock_ != kNoTime &&
+      effective > last_group_clock_ + cfg_.max_forward_jump_us) {
+    // Fast-forward guard: a wildly-ahead proposal (stepped hardware clock)
+    // is clamped; the sender's offset re-derives against the clamped value
+    // so the group clock resumes normal pace immediately.
+    effective = last_group_clock_ + cfg_.max_forward_jump_us;
+  }
+  last_group_clock_ = effective;
+  p.proposed_clock = effective;
+
+  if (p.special_round) {
+    if (recovering_) {
+      // Section 3.2: the recovering replica does not compete; it performs a
+      // clock-related operation as soon as it receives the special-round
+      // CCS message and adjusts its offset to the group clock.
+      const Micros pc = clock_.read();
+      my_clock_offset_ = effective - pc;
+      CcsHandler& sh = handlers_[kSpecialThread];
+      sh.my_thread_id = kSpecialThread;
+      sh.my_round_number = m.hdr.seq;
+      sh.last_seq_seen = m.hdr.seq;
+      recovering_ = false;
+      ++stats_.special_rounds;
+      CTS_INFO() << "replica " << to_string(cfg_.replica)
+                 << " clock initialized from group clock " << effective << " (offset "
+                 << my_clock_offset_ << ")";
+      if (recovery_done_) {
+        auto done = std::move(recovery_done_);
+        recovery_done_ = nullptr;
+        done(effective);
+      }
+      return;
+    }
+    CcsHandler& sh = handlers_[kSpecialThread];
+    if (m.hdr.seq <= sh.last_seq_seen) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    if (sh.waiting) {
+      // This replica ran run_special_round() and is blocked on the result:
+      // complete it through the normal path.
+      sh.last_seq_seen = m.hdr.seq;
+      BufferedMsg b{p, m.hdr.seq, m.hdr.sender_replica, m.hdr.sender_node};
+      sh.my_input_buffer.push_back(std::move(b));
+      try_complete(sh);
+    } else {
+      // A passive backup never processes GET_STATE, so it adopts the
+      // special round's value directly, keeping its offset and round
+      // numbering aligned with the rest of the group.
+      const Micros pc = clock_.read();
+      my_clock_offset_ = effective - pc;
+      sh.my_round_number = m.hdr.seq;
+      sh.last_seq_seen = m.hdr.seq;
+      ++stats_.special_rounds;
+    }
+    return;
+  }
+
+  BufferedMsg b;
+  b.payload = p;
+  b.seq = m.hdr.seq;
+  b.sender_replica = m.hdr.sender_replica;
+  b.sender_node = m.hdr.sender_node;
+
+  auto it = handlers_.find(m.hdr.tag);
+  if (it == handlers_.end()) {
+    // The thread that will perform this logical operation has not been
+    // created yet at this (slow) replica: park the message in the common
+    // input buffer (Figure 3, line 4).
+    common_input_buffer_[m.hdr.tag].push_back(std::move(b));
+    return;
+  }
+  recv_into_handler(it->second, std::move(b));
+}
+
+void ConsistentTimeService::recv_into_handler(CcsHandler& h, BufferedMsg msg) {
+  // Figure 3, lines 5 & 10: duplicate detection based on msg_seq_num.
+  if (msg.seq <= h.last_seq_seen) {
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  h.last_seq_seen = msg.seq;
+  h.my_input_buffer.push_back(std::move(msg));
+  // Figure 3, lines 8-9: wake the blocked thread, if any.
+  try_complete(h);
+}
+
+void ConsistentTimeService::try_complete(CcsHandler& h) {
+  if (!h.waiting || h.my_input_buffer.empty()) return;
+
+  // Figure 2, lines 15-17: take the first message; its clock value is the
+  // consistent group clock value for the round.
+  BufferedMsg msg = std::move(h.my_input_buffer.front());
+  h.my_input_buffer.pop_front();
+
+  const Micros grp = msg.payload.proposed_clock;
+
+  // Figure 2, line 7: offset = group clock − this replica's physical
+  // reading for the round.
+  const Micros raw_offset = grp - h.pc_at_round;
+  my_clock_offset_ = raw_offset;
+  if (cfg_.drift == DriftCompensation::kMeanDelay) {
+    // Section 3.3: compensate for the mean communication/processing delay.
+    my_clock_offset_ += cfg_.mean_delay_us;
+  } else if (cfg_.drift == DriftCompensation::kAdaptiveMeanDelay) {
+    // Same idea, but the "mean delay" is estimated online.  The raw offset
+    // shrinks each round by (true delay − current estimate), so integrating
+    // the signed shrinkage steers the estimate to the true delay: when we
+    // under-compensate the offset keeps falling and the estimate grows;
+    // when we over-compensate it rises and the estimate backs off.
+    if (prev_raw_offset_ != kNoTime) {
+      const double delta = static_cast<double>(prev_raw_offset_ - raw_offset);
+      estimated_round_delay_us_ += cfg_.adaptive_alpha * delta;
+      if (estimated_round_delay_us_ < 0) estimated_round_delay_us_ = 0;
+    }
+    prev_raw_offset_ = raw_offset;
+    my_clock_offset_ += static_cast<Micros>(estimated_round_delay_us_);
+  }
+
+  ++stats_.rounds_completed;
+  if (msg.sender_replica == cfg_.replica) ++stats_.rounds_won;
+  if (msg.payload.special_round) ++stats_.special_rounds;
+
+  if (observer_) {
+    RoundResult rr;
+    rr.round = h.my_round_number;
+    rr.thread = h.my_thread_id;
+    rr.call_type = h.call_type;
+    rr.group_clock = grp;
+    rr.physical_clock = h.pc_at_round;
+    rr.offset_after = my_clock_offset_;
+    rr.winner_replica = msg.sender_replica;
+    rr.winner_node = msg.sender_node;
+    rr.i_sent = h.sent_this_round;
+    rr.special = msg.payload.special_round;
+    observer_(rr);
+  }
+
+  auto done = std::move(h.waiting);
+  h.waiting = nullptr;
+  done(grp);
+}
+
+// --- Primary/backup control ---------------------------------------------------------
+
+void ConsistentTimeService::set_primary(bool primary) {
+  const bool promoted = primary && !primary_;
+  primary_ = primary;
+  if (!promoted || cfg_.style == ReplicationStyle::kActive) return;
+  // Section 3 / 3.3: if the old primary failed before its CCS message was
+  // delivered anywhere, the new primary must send one for any round that
+  // is still blocked.  If the message WAS delivered, the input buffer is
+  // non-empty and nothing needs to be sent.
+  for (auto& [t, h] : handlers_) {
+    if (h.waiting && h.my_input_buffer.empty() && !h.sent_this_round) {
+      send_proposal(h, t == kSpecialThread);
+    }
+  }
+}
+
+// --- Recovery -------------------------------------------------------------------------
+
+void ConsistentTimeService::run_special_round(DoneFn done) {
+  CcsHandler& h = handlers_.at(kSpecialThread);
+  assert(!h.waiting && "special rounds are serialized by the state-transfer protocol");
+  ++h.my_round_number;
+  h.pc_at_round = clock_.read();
+  h.proposed_at_round = propose_local_clock(h.pc_at_round);
+  h.call_type = ClockCallType::kGettimeofday;
+  h.sent_this_round = false;
+  h.waiting = std::move(done);
+  if (h.my_input_buffer.empty()) {
+    const bool may_send = cfg_.style == ReplicationStyle::kActive || primary_;
+    if (may_send) send_proposal(h, /*special=*/true);
+  } else {
+    ++stats_.sends_avoided;
+  }
+  try_complete(h);
+}
+
+void ConsistentTimeService::begin_recovery(DoneFn initialized) {
+  recovering_ = true;
+  recovery_done_ = std::move(initialized);
+}
+
+Bytes ConsistentTimeService::checkpoint() const {
+  BytesWriter w;
+  w.i64(last_group_clock_);
+  w.i64(causal_floor_);
+  w.u32(static_cast<std::uint32_t>(handlers_.size()));
+  for (const auto& [t, h] : handlers_) {
+    w.u32(t.value);
+    w.u64(h.my_round_number);
+    w.u64(h.last_seq_seen);
+  }
+  return std::move(w).take();
+}
+
+void ConsistentTimeService::restore(const Bytes& state) {
+  BytesReader r(state);
+  last_group_clock_ = r.i64();
+  causal_floor_ = r.i64();
+  const auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ThreadId t{r.u32()};
+    auto& h = handlers_[t];
+    h.my_thread_id = t;
+    h.my_round_number = r.u64();
+    h.last_seq_seen = std::max(h.last_seq_seen, r.u64());
+    // Rounds up to my_round_number were consumed by the replica that took
+    // the checkpoint; drop any copies buffered here before the restore.
+    std::erase_if(h.my_input_buffer,
+                  [&](const BufferedMsg& b) { return b.seq <= h.my_round_number; });
+  }
+  for (auto& [t, buf] : common_input_buffer_) {
+    auto it = handlers_.find(t);
+    if (it == handlers_.end()) continue;
+    std::erase_if(buf, [&](const BufferedMsg& b) { return b.seq <= it->second.my_round_number; });
+  }
+}
+
+}  // namespace ccs

@@ -1,0 +1,113 @@
+// Multi-group causal timestamps — the paper's Section 5 future work.
+//
+//   "If there are multiple groups of replicas, the problem of maintaining
+//    causal relationships of the consistent group clocks for the different
+//    groups arises.  We are currently investigating a solution to this
+//    problem that includes the value of the consistent group clock as a
+//    timestamp in the user messages multicast to the different groups."
+//
+// CausalMessenger implements that sketch.  On send, the sending group reads
+// its group clock (one CCS round — deterministic across the senders'
+// replicas) and prepends it to the payload.  On delivery, the receiving
+// group raises its consistent time service's causal floor to the timestamp,
+// so every subsequent clock reading in the receiving group exceeds it.
+// Because messages are delivered in agreed order, all replicas of the
+// receiving group raise the floor at the same point in their operation
+// sequence — the group clock stays consistent AND causal:
+//
+//     send(m) happens-before deliver(m)  =>  ts(m) < any read after deliver(m).
+#pragma once
+
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "cts/consistent_time_service.hpp"
+#include "gcs/gcs.hpp"
+
+namespace cts::ccs {
+
+/// A payload carrying the sender group's clock value.
+struct StampedPayload {
+  Micros timestamp = 0;
+  Bytes body;
+
+  [[nodiscard]] Bytes encode() const {
+    BytesWriter w;
+    w.i64(timestamp);
+    w.bytes(body);
+    return std::move(w).take();
+  }
+  static StampedPayload decode(const Bytes& b) {
+    BytesReader r(b);
+    StampedPayload p;
+    p.timestamp = r.i64();
+    p.body = r.bytes();
+    return p;
+  }
+};
+
+/// Sends and receives inter-group messages stamped with the group clock.
+class CausalMessenger {
+ public:
+  /// Called with (header, timestamp, body) for each stamped message
+  /// delivered to this group.
+  using StampedDeliverFn = std::function<void(const gcs::Message&, Micros, const Bytes&)>;
+
+  CausalMessenger(gcs::GcsEndpoint& gcs, ConsistentTimeService& time, GroupId my_group,
+                  ThreadId thread)
+      : gcs_(gcs), time_(time), my_group_(my_group), thread_(thread) {
+    time_.register_thread(thread_);
+  }
+
+  /// Subscribe to stamped messages addressed to this group on `conn`.
+  /// Raising the causal floor happens BEFORE the application callback, so
+  /// any clock reading the handler performs already respects causality.
+  void subscribe(ConnectionId conn, StampedDeliverFn fn) {
+    gcs_.subscribe(my_group_, [this, conn, fn = std::move(fn)](const gcs::Message& m) {
+      if (m.hdr.type != gcs::MsgType::kUserRequest || m.hdr.conn != conn) return;
+      StampedPayload p;
+      try {
+        p = StampedPayload::decode(m.payload);
+      } catch (const CodecError&) {
+        return;
+      }
+      time_.advance_causal_floor(p.timestamp);
+      if (fn) fn(m, p.timestamp, p.body);
+    });
+  }
+
+  /// Read the group clock (one CCS round) and multicast `body` to
+  /// `dst_group`, stamped with the reading.  `done` receives the timestamp
+  /// used.  Deterministic across the sending group's replicas: each replica
+  /// obtains the same timestamp and builds an identical message, so the GCS
+  /// duplicate suppression collapses the copies.
+  void stamp_and_send(GroupId dst_group, ConnectionId conn, MsgSeqNum seq, Bytes body,
+                      std::function<void(Micros)> done = nullptr) {
+    time_.start_round(thread_, ClockCallType::kGettimeofday,
+                      [this, dst_group, conn, seq, body = std::move(body),
+                       done = std::move(done)](Micros ts) mutable {
+                        StampedPayload p;
+                        p.timestamp = ts;
+                        p.body = std::move(body);
+                        gcs::Message m;
+                        m.hdr.type = gcs::MsgType::kUserRequest;
+                        m.hdr.src_grp = my_group_;
+                        m.hdr.dst_grp = dst_group;
+                        m.hdr.conn = conn;
+                        m.hdr.tag = thread_;
+                        m.hdr.seq = seq;
+                        m.hdr.sender_replica = time_.config().replica;
+                        m.payload = p.encode();
+                        gcs_.send(std::move(m));
+                        if (done) done(ts);
+                      });
+  }
+
+ private:
+  gcs::GcsEndpoint& gcs_;
+  ConsistentTimeService& time_;
+  GroupId my_group_;
+  ThreadId thread_;
+};
+
+}  // namespace cts::ccs

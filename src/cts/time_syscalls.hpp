@@ -1,0 +1,104 @@
+// Library-interpositioning facade for clock-related system calls.
+//
+// The paper's implementation (Section 4.1) interposes on the libc symbols
+// gettimeofday(), time() and ftime() with LD_PRELOAD so the application is
+// unchanged; each interposed call carries a unique type identifier in the
+// CCS message.  In the simulation, application code receives a TimeSyscalls
+// object instead of calling libc; each method corresponds to one interposed
+// symbol, carries its own ClockCallType, and drives one round of the CCS
+// algorithm.  The returned value respects the original call's resolution
+// (microseconds / seconds / milliseconds).
+#pragma once
+
+#include <coroutine>
+
+#include "cts/consistent_time_service.hpp"
+
+namespace cts::ccs {
+
+/// A timeval-like result for gettimeofday().
+struct TimeVal {
+  std::int64_t tv_sec = 0;
+  std::int64_t tv_usec = 0;
+  friend bool operator==(const TimeVal&, const TimeVal&) = default;
+
+  [[nodiscard]] Micros total_us() const { return tv_sec * 1'000'000 + tv_usec; }
+  static TimeVal from_us(Micros us) { return TimeVal{us / 1'000'000, us % 1'000'000}; }
+};
+
+/// A timeb-like result for ftime().
+struct TimeB {
+  std::int64_t time = 0;      // seconds
+  std::uint16_t millitm = 0;  // milliseconds
+  friend bool operator==(const TimeB&, const TimeB&) = default;
+
+  [[nodiscard]] Micros total_us() const {
+    return time * 1'000'000 + static_cast<Micros>(millitm) * 1'000;
+  }
+  static TimeB from_us(Micros us) {
+    return TimeB{us / 1'000'000, static_cast<std::uint16_t>((us / 1'000) % 1'000)};
+  }
+};
+
+/// Per-thread interposed syscall table.  One instance per application
+/// thread of a replica, bound to that thread's identifier (the identifier
+/// that rides in CCS headers).
+class TimeSyscalls {
+ public:
+  TimeSyscalls(ConsistentTimeService& svc, ThreadId thread) : svc_(svc), thread_(thread) {
+    svc_.register_thread(thread_);
+  }
+
+  /// Awaitable mapping the raw group-clock microseconds through a
+  /// resolution-preserving conversion.
+  template <typename Result, ClockCallType kType, Result (*Convert)(Micros)>
+  struct Call {
+    ConsistentTimeService& svc;
+    ThreadId thread;
+    Micros raw = 0;
+
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      svc.start_round(thread, kType, [this, h](Micros v) {
+        raw = v;
+        // Resume through the event queue, matching Signal semantics.
+        svc.simulator().after(0, [h] { h.resume(); });
+      });
+    }
+    Result await_resume() const { return Convert(raw); }
+  };
+
+  static TimeVal to_timeval(Micros us) { return TimeVal::from_us(us); }
+  static std::int64_t to_seconds(Micros us) { return us / 1'000'000; }
+  static TimeB to_timeb(Micros us) { return TimeB::from_us(us); }
+  static Micros to_micros(Micros us) { return us; }
+
+  /// gettimeofday(2): microsecond resolution.
+  auto gettimeofday() {
+    return Call<TimeVal, ClockCallType::kGettimeofday, &TimeSyscalls::to_timeval>{svc_, thread_};
+  }
+
+  /// time(2): whole seconds.
+  auto time() {
+    return Call<std::int64_t, ClockCallType::kTime, &TimeSyscalls::to_seconds>{svc_, thread_};
+  }
+
+  /// ftime(3): millisecond resolution.
+  auto ftime() {
+    return Call<TimeB, ClockCallType::kFtime, &TimeSyscalls::to_timeb>{svc_, thread_};
+  }
+
+  /// clock_gettime(2) with CLOCK_REALTIME: microseconds (ns granularity is
+  /// below the simulation's resolution).
+  auto clock_gettime() {
+    return Call<Micros, ClockCallType::kClockGettime, &TimeSyscalls::to_micros>{svc_, thread_};
+  }
+
+  [[nodiscard]] ThreadId thread() const { return thread_; }
+
+ private:
+  ConsistentTimeService& svc_;
+  ThreadId thread_;
+};
+
+}  // namespace cts::ccs

@@ -1,0 +1,315 @@
+#include "gcs/gcs.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cts::gcs {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kUserRequest:
+      return "UserRequest";
+    case MsgType::kUserReply:
+      return "UserReply";
+    case MsgType::kCcs:
+      return "CCS";
+    case MsgType::kGetState:
+      return "GetState";
+    case MsgType::kState:
+      return "State";
+    case MsgType::kGroupJoin:
+      return "GroupJoin";
+    case MsgType::kGroupLeave:
+      return "GroupLeave";
+    case MsgType::kFragment:
+      return "Fragment";
+  }
+  return "?";
+}
+
+namespace {
+bool is_control(MsgType t) { return t == MsgType::kGroupJoin || t == MsgType::kGroupLeave; }
+}  // namespace
+
+GcsEndpoint::GcsEndpoint(sim::Simulator& sim, totem::TotemNode& totem)
+    : sim_(sim), totem_(totem) {
+  totem_.set_deliver_handler(
+      [this](NodeId sender, const Bytes& data) { on_totem_deliver(sender, data); });
+  totem_.set_view_handler([this](const totem::View& v) { on_totem_view(v); });
+}
+
+// --- Wire format ------------------------------------------------------------
+
+Bytes GcsEndpoint::encode(const Message& m) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(m.hdr.type));
+  w.u32(m.hdr.src_grp.value);
+  w.u32(m.hdr.dst_grp.value);
+  w.u32(m.hdr.conn.value);
+  w.u32(m.hdr.tag.value);
+  w.u64(m.hdr.seq);
+  w.u32(m.hdr.sender_replica.value);
+  w.u32(m.hdr.sender_node.value);
+  w.bytes(m.payload);
+  return std::move(w).take();
+}
+
+Message GcsEndpoint::decode(const Bytes& b) {
+  BytesReader r(b);
+  Message m;
+  m.hdr.type = static_cast<MsgType>(r.u8());
+  m.hdr.src_grp = GroupId{r.u32()};
+  m.hdr.dst_grp = GroupId{r.u32()};
+  m.hdr.conn = ConnectionId{r.u32()};
+  m.hdr.tag = ThreadId{r.u32()};
+  m.hdr.seq = r.u64();
+  m.hdr.sender_replica = ReplicaId{r.u32()};
+  m.hdr.sender_node = NodeId{r.u32()};
+  m.payload = r.bytes();
+  return m;
+}
+
+// --- Group membership ----------------------------------------------------------
+
+void GcsEndpoint::join_group(GroupId g, ReplicaId r) {
+  local_members_.emplace_back(g, r);
+  Message m;
+  m.hdr.type = MsgType::kGroupJoin;
+  m.hdr.src_grp = g;
+  m.hdr.dst_grp = g;
+  m.hdr.sender_replica = r;
+  m.hdr.sender_node = totem_.id();
+  totem_.multicast(encode(m));
+}
+
+void GcsEndpoint::leave_group(GroupId g, ReplicaId r) {
+  std::erase(local_members_, std::make_pair(g, r));
+  Message m;
+  m.hdr.type = MsgType::kGroupLeave;
+  m.hdr.src_grp = g;
+  m.hdr.dst_grp = g;
+  m.hdr.sender_replica = r;
+  m.hdr.sender_node = totem_.id();
+  totem_.multicast(encode(m));
+}
+
+void GcsEndpoint::subscribe(GroupId g, DeliverFn fn) {
+  subscribers_[g].push_back(std::move(fn));
+}
+
+void GcsEndpoint::subscribe_view(GroupId g, ViewFn fn) {
+  view_subscribers_[g].push_back(std::move(fn));
+}
+
+const GroupView& GcsEndpoint::view(GroupId g) {
+  auto& v = views_[g];
+  v.group = g;
+  return v;
+}
+
+void GcsEndpoint::bump_view(GroupId g) {
+  auto& v = views_[g];
+  v.group = g;
+  ++v.view_num;
+  for (auto& fn : view_subscribers_[g]) fn(v);
+}
+
+void GcsEndpoint::apply_group_join(const Message& m) {
+  auto& v = views_[m.hdr.dst_grp];
+  v.group = m.hdr.dst_grp;
+  const GroupMember member{m.hdr.sender_node, m.hdr.sender_replica};
+  auto it = std::lower_bound(v.members.begin(), v.members.end(), member);
+  if (it != v.members.end() && *it == member) return;  // idempotent re-announce
+  v.members.insert(it, member);
+  bump_view(m.hdr.dst_grp);
+}
+
+void GcsEndpoint::apply_group_leave(const Message& m) {
+  auto& v = views_[m.hdr.dst_grp];
+  const GroupMember member{m.hdr.sender_node, m.hdr.sender_replica};
+  auto n = std::erase(v.members, member);
+  if (n > 0) bump_view(m.hdr.dst_grp);
+}
+
+void GcsEndpoint::on_totem_view(const totem::View& v) {
+  // Drop group members hosted on nodes that left the ring.  Every endpoint
+  // applies the same rule to the same Totem view, so group views stay
+  // consistent without extra messages.
+  for (auto& [g, gv] : views_) {
+    const auto before = gv.members.size();
+    std::erase_if(gv.members, [&](const GroupMember& m) {
+      return std::find(v.members.begin(), v.members.end(), m.node) == v.members.end();
+    });
+    if (gv.members.size() != before) bump_view(g);
+  }
+  // Re-announce our local members so hosts that just (re)joined the ring
+  // learn about them; joins are idempotent at every receiver.
+  for (const auto& [g, r] : local_members_) {
+    Message m;
+    m.hdr.type = MsgType::kGroupJoin;
+    m.hdr.src_grp = g;
+    m.hdr.dst_grp = g;
+    m.hdr.sender_replica = r;
+    m.hdr.sender_node = totem_.id();
+    totem_.multicast(encode(m));
+  }
+}
+
+// --- Send path -----------------------------------------------------------------
+
+std::uint64_t GcsEndpoint::send(Message m) {
+  m.hdr.sender_node = totem_.id();
+  const auto type_idx = static_cast<std::size_t>(m.hdr.type);
+  ++stats_.sent_attempted[type_idx];
+  const std::uint64_t h = next_handle_++;
+
+  std::vector<std::uint64_t> totem_handles;
+  if (m.payload.size() <= max_fragment_payload_) {
+    totem_handles.push_back(totem_.multicast(encode(m)));
+  } else {
+    // Fragment: each chunk rides a kFragment message carrying the original
+    // header (so the logical identity is preserved) plus its index.
+    const std::size_t chunk = max_fragment_payload_;
+    const auto count =
+        static_cast<std::uint32_t>((m.payload.size() + chunk - 1) / chunk);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Message frag;
+      frag.hdr = m.hdr;
+      frag.hdr.type = MsgType::kFragment;
+      BytesWriter w;
+      w.u8(static_cast<std::uint8_t>(m.hdr.type));
+      w.u32(i);
+      w.u32(count);
+      const std::size_t begin = i * chunk;
+      const std::size_t end = std::min(m.payload.size(), begin + chunk);
+      w.bytes(std::span<const std::uint8_t>(m.payload.data() + begin, end - begin));
+      frag.payload = std::move(w).take();
+      totem_handles.push_back(totem_.multicast(encode(frag)));
+      ++stats_.fragments_sent;
+    }
+  }
+
+  if (!is_control(m.hdr.type)) {
+    pending_[{m.hdr.conn.value, static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag.value,
+              m.hdr.seq}] = PendingSend{h, std::move(totem_handles), m.hdr.type};
+  }
+  return h;
+}
+
+bool GcsEndpoint::cancel(std::uint64_t handle) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->second.gcs_handle == handle) {
+      bool all = true;
+      for (auto th : it->second.totem_handles) all &= totem_.cancel(th);
+      if (all) ++stats_.sent_cancelled[static_cast<std::size_t>(it->second.type)];
+      pending_.erase(it);
+      return all;
+    }
+  }
+  return false;
+}
+
+// --- Delivery path ----------------------------------------------------------------
+
+void GcsEndpoint::on_totem_deliver(NodeId /*sender*/, const Bytes& data) {
+  Message m;
+  try {
+    m = decode(data);
+  } catch (const CodecError& e) {
+    CTS_WARN() << to_string(totem_.id()) << " dropped malformed GCS message: " << e.what();
+    return;
+  }
+  if (m.hdr.type == MsgType::kFragment) {
+    on_fragment(m);
+    return;
+  }
+  process_message(std::move(m));
+}
+
+void GcsEndpoint::on_fragment(const Message& frag) {
+  ++stats_.fragments_received;
+  std::uint8_t original_type = 0;
+  std::uint32_t idx = 0, count = 0;
+  Bytes chunk;
+  try {
+    BytesReader r(frag.payload);
+    original_type = r.u8();
+    idx = r.u32();
+    count = r.u32();
+    chunk = r.bytes();
+  } catch (const CodecError& e) {
+    CTS_WARN() << to_string(totem_.id()) << " dropped malformed fragment: " << e.what();
+    return;
+  }
+
+  const auto key = std::make_tuple(frag.hdr.sender_node.value, frag.hdr.conn.value,
+                                   original_type, frag.hdr.tag.value, frag.hdr.seq);
+  Reassembly& re = reassembly_[key];
+  if (idx == 0) {
+    re = Reassembly{};
+    re.count = count;
+    re.original_type = static_cast<MsgType>(original_type);
+  }
+  if (idx != re.next || count != re.count) {
+    // Out-of-order or inconsistent fragment: the total order makes this
+    // impossible for a correct sender; drop the partial message.
+    reassembly_.erase(key);
+    return;
+  }
+  re.data.insert(re.data.end(), chunk.begin(), chunk.end());
+  ++re.next;
+  if (re.next < re.count) return;
+
+  Message m;
+  m.hdr = frag.hdr;
+  m.hdr.type = re.original_type;
+  m.payload = std::move(re.data);
+  reassembly_.erase(key);
+  process_message(std::move(m));
+}
+
+void GcsEndpoint::process_message(Message m) {
+  if (m.hdr.type == MsgType::kGroupJoin) {
+    apply_group_join(m);
+    return;
+  }
+  if (m.hdr.type == MsgType::kGroupLeave) {
+    apply_group_leave(m);
+    return;
+  }
+
+  const auto type_idx = static_cast<std::size_t>(m.hdr.type);
+
+  // Sender-side suppression: a copy of this logical message has now been
+  // ordered, so a still-queued local copy must never reach the wire.
+  const auto pending_key = std::make_tuple(m.hdr.conn.value,
+                                           static_cast<std::uint8_t>(m.hdr.type),
+                                           m.hdr.tag.value, m.hdr.seq);
+  if (auto it = pending_.find(pending_key); it != pending_.end()) {
+    if (m.hdr.sender_node != totem_.id()) {
+      // Someone else's copy won the race; cancel ours if still queued.
+      bool all = true;
+      for (auto th : it->second.totem_handles) all &= totem_.cancel(th);
+      if (all) ++stats_.sent_cancelled[static_cast<std::size_t>(it->second.type)];
+    }
+    pending_.erase(it);
+  }
+
+  // Receiver-side duplicate detection.
+  const DedupKey dk{m.hdr.conn.value, static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag.value};
+  auto [it, fresh] = last_delivered_.try_emplace(dk, 0);
+  if (!fresh && m.hdr.seq <= it->second) {
+    ++stats_.duplicates_dropped[type_idx];
+    return;
+  }
+  it->second = m.hdr.seq;
+
+  ++stats_.delivered[type_idx];
+  auto sub = subscribers_.find(m.hdr.dst_grp);
+  if (sub != subscribers_.end()) {
+    for (auto& fn : sub->second) fn(m);
+  }
+}
+
+}  // namespace cts::gcs

@@ -1,0 +1,117 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace cts::net {
+
+void Network::attach(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+  down_[node] = false;
+}
+
+void Network::detach(NodeId node) {
+  handlers_.erase(node);
+  down_.erase(node);
+  component_of_.erase(node);
+}
+
+void Network::set_down(NodeId node, bool down) {
+  if (auto it = down_.find(node); it != down_.end()) it->second = down;
+}
+
+bool Network::is_down(NodeId node) const {
+  auto it = down_.find(node);
+  return it == down_.end() || it->second;
+}
+
+bool Network::reachable(NodeId src, NodeId dst) const {
+  if (is_down(dst)) return false;
+  if (component_of_.empty()) return true;
+  auto cs = component_of_.find(src);
+  auto cd = component_of_.find(dst);
+  const int s = cs == component_of_.end() ? -1 : cs->second;
+  const int d = cd == component_of_.end() ? -1 : cd->second;
+  return s == d;
+}
+
+Micros Network::tx_departure(NodeId src, std::size_t payload_size) {
+  // The sending NIC serializes packets: this packet leaves the host once
+  // the previous one has fully left, plus its own wire time.
+  const auto serialization = static_cast<Micros>(
+      std::llround(static_cast<double>(payload_size) / cfg_.bytes_per_us));
+  Micros& free_at = tx_free_at_[src];
+  const Micros depart = std::max(sim_.now(), free_at) + serialization;
+  free_at = depart;
+  return depart;
+}
+
+Micros Network::draw_hop_latency() {
+  double jitter = rng_.gaussian(0.0, cfg_.jitter_stddev_us);
+  if (jitter < 0) jitter = -jitter;  // jitter only ever adds delay
+  return cfg_.base_latency_us + static_cast<Micros>(std::llround(jitter));
+}
+
+void Network::deliver(NodeId src, NodeId dst, Bytes payload, Micros depart) {
+  const Micros arrive = depart + draw_hop_latency();
+  sim_.after(arrive - sim_.now(), [this, src, dst, p = std::move(payload)] {
+    // Re-check liveness at delivery time: the destination may have crashed
+    // while the packet was in flight.
+    if (is_down(dst)) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    auto it = handlers_.find(dst);
+    if (it == handlers_.end()) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    ++stats_.packets_delivered;
+    it->second(src, p);
+  });
+}
+
+void Network::send(NodeId src, NodeId dst, const Bytes& payload) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += payload.size();
+  const Micros depart = tx_departure(src, payload.size());
+  if (!reachable(src, dst) || rng_.chance(cfg_.loss_probability)) {
+    ++stats_.packets_dropped;
+    return;
+  }
+  deliver(src, dst, payload, depart);
+}
+
+void Network::broadcast(NodeId src, const Bytes& payload) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += payload.size();
+  // One transmission serves every receiver (Ethernet broadcast); loss and
+  // jitter are drawn per receiver (independent NIC/interrupt behavior).
+  const Micros depart = tx_departure(src, payload.size());
+  for (const auto& [node, handler] : handlers_) {
+    if (node == src) continue;
+    if (!reachable(src, node) || rng_.chance(cfg_.loss_probability)) {
+      ++stats_.packets_dropped;
+      continue;
+    }
+    deliver(src, node, payload, depart);
+  }
+}
+
+void Network::partition(const std::vector<std::vector<NodeId>>& components) {
+  component_of_.clear();
+  int idx = 0;
+  for (const auto& comp : components) {
+    for (NodeId n : comp) component_of_[n] = idx;
+    ++idx;
+  }
+  CTS_INFO() << "network partitioned into " << components.size() << "+ components";
+}
+
+void Network::heal() {
+  component_of_.clear();
+  CTS_INFO() << "network partition healed";
+}
+
+}  // namespace cts::net

@@ -1,0 +1,51 @@
+#include "orb/rmi_client.hpp"
+
+namespace cts::orb {
+
+RmiClient::RmiClient(sim::Simulator& sim, gcs::GcsEndpoint& gcs, GroupId client_group,
+                     GroupId server_group, ConnectionId conn)
+    : sim_(sim), gcs_(gcs), client_group_(client_group), server_group_(server_group),
+      conn_(conn) {
+  gcs_.join_group(client_group_, ReplicaId{0});
+  gcs_.subscribe(client_group_, [this](const gcs::Message& m) { on_message(m); });
+}
+
+MsgSeqNum RmiClient::invoke(Bytes request, ReplyFn on_reply, Micros timeout_us,
+                            std::function<void()> on_timeout) {
+  const MsgSeqNum seq = next_seq_++;
+  outstanding_[seq] = std::move(on_reply);
+
+  if (timeout_us > 0) {
+    sim_.after(timeout_us, [this, seq, on_timeout = std::move(on_timeout)] {
+      auto it = outstanding_.find(seq);
+      if (it == outstanding_.end()) return;  // reply arrived in time
+      outstanding_.erase(it);
+      ++timeouts_;
+      if (on_timeout) on_timeout();
+    });
+  }
+
+  gcs::Message m;
+  m.hdr.type = gcs::MsgType::kUserRequest;
+  m.hdr.src_grp = client_group_;
+  m.hdr.dst_grp = server_group_;
+  m.hdr.conn = conn_;
+  m.hdr.tag = ThreadId{0};
+  m.hdr.seq = seq;
+  m.hdr.sender_replica = ReplicaId{0};
+  m.payload = std::move(request);
+  gcs_.send(std::move(m));
+  return seq;
+}
+
+void RmiClient::on_message(const gcs::Message& m) {
+  if (m.hdr.type != gcs::MsgType::kUserReply || m.hdr.conn != conn_) return;
+  auto it = outstanding_.find(m.hdr.seq);
+  if (it == outstanding_.end()) return;  // late duplicate after completion
+  auto fn = std::move(it->second);
+  outstanding_.erase(it);
+  ++replies_;
+  fn(m.payload);
+}
+
+}  // namespace cts::orb

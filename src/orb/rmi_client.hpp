@@ -1,0 +1,112 @@
+// Minimal RMI layer — the e*ORB/CORBA stand-in.
+//
+// A client (possibly unreplicated, like the paper's measurement client)
+// invokes remote methods on a replicated server object.  The invocation is
+// a kUserRequest multicast on the connection (client group → server group);
+// the reply is the first kUserReply with the matching sequence number —
+// duplicate replies from active replicas are suppressed by the GCS layer.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "gcs/gcs.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::orb {
+
+/// Client-side stub for a replicated server group.
+class RmiClient {
+ public:
+  using ReplyFn = std::function<void(const Bytes&)>;
+
+  /// `client_group` is this client's own (usually singleton) group; replies
+  /// are addressed to it.  `conn` identifies the client→server connection.
+  RmiClient(sim::Simulator& sim, gcs::GcsEndpoint& gcs, GroupId client_group,
+            GroupId server_group, ConnectionId conn);
+
+  RmiClient(const RmiClient&) = delete;
+  RmiClient& operator=(const RmiClient&) = delete;
+
+  /// Fire an invocation; `on_reply` runs when the (first) reply arrives.
+  /// Returns the invocation's sequence number.
+  ///
+  /// With `timeout_us` > 0 this is a *timed* remote method invocation (one
+  /// of the paper's motivating clock uses): if no reply arrives in time,
+  /// `on_timeout` fires instead and a late reply is discarded.  The timer
+  /// here is the CLIENT's — the client is unreplicated, so its local clock
+  /// is safe to use; replicated SERVERS must use GroupTimerService.
+  MsgSeqNum invoke(Bytes request, ReplyFn on_reply, Micros timeout_us = 0,
+                   std::function<void()> on_timeout = nullptr);
+
+  /// Awaitable form: `Bytes reply = co_await client.call(request);`
+  struct CallAwaiter {
+    RmiClient& client;
+    Bytes request;
+    Bytes reply;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      client.invoke(std::move(request), [this, h](const Bytes& r) {
+        reply = r;
+        client.sim_.after(0, [h] { h.resume(); });
+      });
+    }
+    Bytes await_resume() { return std::move(reply); }
+  };
+  [[nodiscard]] CallAwaiter call(Bytes request) {
+    return CallAwaiter{*this, std::move(request), {}};
+  }
+
+  /// Awaitable timed invocation; resumes with nullopt on timeout.
+  struct TimedCallAwaiter {
+    RmiClient& client;
+    Bytes request;
+    Micros timeout_us;
+    std::optional<Bytes> reply;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      client.invoke(
+          std::move(request),
+          [this, h](const Bytes& r) {
+            reply = r;
+            client.sim_.after(0, [h] { h.resume(); });
+          },
+          timeout_us,
+          [this, h] {
+            reply = std::nullopt;
+            client.sim_.after(0, [h] { h.resume(); });
+          });
+    }
+    std::optional<Bytes> await_resume() { return std::move(reply); }
+  };
+  [[nodiscard]] TimedCallAwaiter call_with_timeout(Bytes request, Micros timeout_us) {
+    return TimedCallAwaiter{*this, std::move(request), timeout_us, std::nullopt};
+  }
+
+  [[nodiscard]] std::uint64_t invocations() const { return next_seq_ - 1; }
+  [[nodiscard]] std::uint64_t replies() const { return replies_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  void on_message(const gcs::Message& m);
+
+  sim::Simulator& sim_;
+  gcs::GcsEndpoint& gcs_;
+  GroupId client_group_;
+  GroupId server_group_;
+  ConnectionId conn_;
+  MsgSeqNum next_seq_ = 1;
+  std::map<MsgSeqNum, ReplyFn> outstanding_;
+  std::uint64_t replies_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  friend struct CallAwaiter;
+};
+
+}  // namespace cts::orb

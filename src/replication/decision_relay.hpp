@@ -1,0 +1,152 @@
+// Generic nondeterministic-decision distribution for semi-active
+// replication (the Delta-4 mechanism, paper Section 2):
+//
+//   "In semi-active replication, both the primary and the backup replicas
+//    process incoming messages.  However, any nondeterministic decision is
+//    made at the primary replica and is conveyed to the backup replicas so
+//    that they remain consistent with the primary replica."
+//
+// The Consistent Time Service is the special case where the decision is a
+// clock reading.  DecisionRelay generalizes the same round structure to
+// ARBITRARY decisions — random draws, I/O results, scheduling choices:
+//   * the primary computes the decision locally and multicasts it on the
+//     relay's connection, tagged with the decision stream and a sequence
+//     number;
+//   * backups performing the same logical step block until the primary's
+//    decision for that sequence number is delivered, then use it verbatim;
+//   * if the primary fails, the promoted backup re-issues the pending
+//     decision from its own decider (exactly the CCS failover rule), and
+//     receiver-side duplicate detection discards the slower copy.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "gcs/gcs.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::replication {
+
+class DecisionRelay {
+ public:
+  /// Produces this replica's local value for a decision (only consulted at
+  /// the primary, or at a backup promoted mid-round).
+  using DeciderFn = std::function<Bytes()>;
+  using DoneFn = std::function<void(Bytes)>;
+
+  DecisionRelay(sim::Simulator& sim, gcs::GcsEndpoint& gcs, GroupId group, ConnectionId conn,
+                ReplicaId replica)
+      : sim_(sim), gcs_(gcs), group_(group), conn_(conn), replica_(replica) {
+    gcs_.subscribe(group_, [this](const gcs::Message& m) {
+      if (m.hdr.type == gcs::MsgType::kUserRequest && m.hdr.conn == conn_) on_delivered(m);
+    });
+  }
+
+  DecisionRelay(const DecisionRelay&) = delete;
+  DecisionRelay& operator=(const DecisionRelay&) = delete;
+
+  /// Perform one nondeterministic decision on `stream`.  At the primary,
+  /// `decider` runs and its result is conveyed to the group; at backups the
+  /// conveyed value is awaited.  Streams are independent (one per logical
+  /// thread, like CCS handlers).
+  void decide(ThreadId stream, DeciderFn decider, DoneFn done) {
+    Stream& st = streams_[stream];
+    ++st.seq;
+    st.decider = std::move(decider);
+    st.waiting = std::move(done);
+    st.sent = false;
+    if (primary_ && st.buffer.empty()) send_decision(stream, st);
+    try_complete(st);
+  }
+
+  /// Awaitable form for coroutine threads.
+  struct Awaiter {
+    DecisionRelay& relay;
+    ThreadId stream;
+    DeciderFn decider;
+    Bytes value;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      relay.decide(stream, std::move(decider), [this, h](Bytes v) {
+        value = std::move(v);
+        relay.sim_.after(0, [h] { h.resume(); });
+      });
+    }
+    Bytes await_resume() { return std::move(value); }
+  };
+  [[nodiscard]] Awaiter decide_await(ThreadId stream, DeciderFn decider) {
+    return Awaiter{*this, stream, std::move(decider), {}};
+  }
+
+  /// Promotion: a blocked round whose decision never arrived is re-decided
+  /// locally and conveyed (paper Section 3: "the new primary replica will
+  /// send a CCS message" — same rule, generalized).
+  void set_primary(bool primary) {
+    const bool promoted = primary && !primary_;
+    primary_ = primary;
+    if (!promoted) return;
+    for (auto& [t, st] : streams_) {
+      if (st.waiting && st.buffer.empty() && !st.sent) send_decision(t, st);
+    }
+  }
+  [[nodiscard]] bool is_primary() const { return primary_; }
+
+  [[nodiscard]] std::uint64_t decisions_made() const { return decisions_made_; }
+  [[nodiscard]] std::uint64_t decisions_adopted() const { return decisions_adopted_; }
+
+ private:
+  struct Stream {
+    MsgSeqNum seq = 0;
+    std::deque<Bytes> buffer;
+    DeciderFn decider;
+    DoneFn waiting;
+    bool sent = false;
+  };
+
+  void send_decision(ThreadId t, Stream& st) {
+    gcs::Message m;
+    m.hdr.type = gcs::MsgType::kUserRequest;
+    m.hdr.src_grp = group_;
+    m.hdr.dst_grp = group_;
+    m.hdr.conn = conn_;
+    m.hdr.tag = t;
+    m.hdr.seq = st.seq;
+    m.hdr.sender_replica = replica_;
+    m.payload = st.decider ? st.decider() : Bytes{};
+    gcs_.send(std::move(m));
+    st.sent = true;
+    ++decisions_made_;
+  }
+
+  void on_delivered(const gcs::Message& m) {
+    Stream& st = streams_[m.hdr.tag];
+    st.buffer.push_back(m.payload);
+    try_complete(st);
+  }
+
+  void try_complete(Stream& st) {
+    if (!st.waiting || st.buffer.empty()) return;
+    Bytes v = std::move(st.buffer.front());
+    st.buffer.pop_front();
+    ++decisions_adopted_;
+    auto done = std::move(st.waiting);
+    st.waiting = nullptr;
+    done(std::move(v));
+  }
+
+  sim::Simulator& sim_;
+  gcs::GcsEndpoint& gcs_;
+  GroupId group_;
+  ConnectionId conn_;
+  ReplicaId replica_;
+  bool primary_ = false;
+  std::map<ThreadId, Stream> streams_;
+  std::uint64_t decisions_made_ = 0;
+  std::uint64_t decisions_adopted_ = 0;
+};
+
+}  // namespace cts::replication

@@ -1,0 +1,209 @@
+// Deterministic discrete-event simulator.
+//
+// Everything the paper runs on a four-machine testbed runs here inside one
+// process: simulated hosts, the LAN, Totem daemons, replicas, and clients
+// are all driven from a single time-ordered event queue.  Determinism is
+// total — same seed, same schedule, same results — which is what makes the
+// agreement/monotonicity property tests meaningful.
+//
+// Two programming models are supported:
+//   * callback timers (`at` / `after` / `cancel`) — used by protocol code
+//     (Totem token timeouts, retransmission timers);
+//   * C++20 coroutines (`co_await sim.delay(d)`, `co_await signal.wait()`) —
+//     used by application-level logical threads, which in the paper block in
+//     get_grp_clock_time() until the first CCS message of the round arrives.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cts::sim {
+
+class Simulator;
+
+/// Fire-and-forget coroutine used for simulated logical threads.
+///
+/// The coroutine starts eagerly and destroys its own frame when it runs to
+/// completion (final_suspend is suspend_never), so there is no join handle;
+/// completion is observed through ordinary simulation state.
+struct Task {
+  struct promise_type {
+    Task get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// The event queue and simulated clock.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Handle for cancelling a scheduled callback.
+  struct EventId {
+    std::uint64_t id = 0;
+  };
+
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Current simulated time in microseconds since simulation start.
+  [[nodiscard]] Micros now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (>= now).
+  EventId at(Micros t, EventFn fn) {
+    assert(t >= now_);
+    const std::uint64_t id = next_id_++;
+    queue_.push(Entry{t, seq_++, id, std::move(fn)});
+    ++pending_;
+    return EventId{id};
+  }
+
+  /// Schedule `fn` after `delay` microseconds.
+  EventId after(Micros delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+
+  /// Cancel a previously scheduled callback; no-op if already fired.
+  void cancel(EventId ev) {
+    if (cancelled_.insert(ev.id).second) {
+      // The entry stays in the queue and is skipped at pop time.
+    }
+  }
+
+  /// Run the next pending event.  Returns false if the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      Entry e = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+      --pending_;
+      if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      assert(e.time >= now_);
+      now_ = e.time;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run until the queue is empty or `max_events` have fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  /// Run all events with time <= t, then set now() = t.
+  void run_until(Micros t) {
+    while (!queue_.empty()) {
+      if (peek_time() > t) break;
+      step();
+    }
+    if (now_ < t) now_ = t;
+  }
+
+  /// Run for `d` microseconds of simulated time.
+  void run_for(Micros d) { run_until(now_ + d); }
+
+  /// Number of scheduled-but-unfired events (including cancelled ones).
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+
+  /// Root RNG for the experiment; fork() per-component streams from it.
+  Rng& rng() { return rng_; }
+
+  // --- Coroutine support -------------------------------------------------
+
+  /// Awaitable that resumes the coroutine after `d` simulated microseconds.
+  struct DelayAwaiter {
+    Simulator& sim;
+    Micros d;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim.after(d, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// `co_await sim.delay(d)` — suspend the logical thread for d us.
+  DelayAwaiter delay(Micros d) { return DelayAwaiter{*this, d}; }
+
+ private:
+  struct Entry {
+    Micros time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    std::uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] Micros peek_time() const { return queue_.top().time; }
+
+  Micros now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Rng rng_;
+};
+
+/// A waitable condition for coroutines: logical threads block on it with
+/// `co_await signal.wait()` and are resumed by `notify_one/notify_all`.
+///
+/// This is the simulation analogue of the POSIX condition variable the
+/// paper's implementation uses to block the calling thread until the first
+/// CCS message of the round is received (Section 4.1).
+class Signal {
+ public:
+  explicit Signal(Simulator& sim) : sim_(sim) {}
+
+  struct Awaiter {
+    Signal& sig;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { sig.waiters_.push_back(h); }
+    void await_resume() const noexcept {}
+  };
+
+  /// Suspend the current coroutine until notified.
+  Awaiter wait() { return Awaiter{*this}; }
+
+  /// Resume one waiter (FIFO), as a fresh simulator event at the current
+  /// simulated time.
+  void notify_one() {
+    if (waiters_.empty()) return;
+    auto h = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    sim_.after(0, [h] { h.resume(); });
+  }
+
+  /// Resume all waiters.
+  void notify_all() {
+    auto ws = std::move(waiters_);
+    waiters_.clear();
+    for (auto h : ws) sim_.after(0, [h] { h.resume(); });
+  }
+
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace cts::sim

@@ -1,0 +1,74 @@
+// Simulated stable storage (a local disk with fsync latency).
+//
+// The paper's recovery protocol assumes at least one replica survives to
+// serve the state transfer.  Stable storage lifts that assumption: each
+// replica persists its checkpoints locally, so after a TOTAL failure the
+// group can cold-start from disk — and, critically for the time service,
+// the persisted CTS state carries the last group-clock value, so the group
+// clock stays monotone across the outage (readings after the cold start
+// are forced above everything handed out before it).
+//
+// The store belongs to the HOST, not the process: it survives crash() and
+// restart() of the node's software stack, which is exactly what a disk
+// does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::storage {
+
+class StableStore {
+ public:
+  struct Config {
+    /// Synchronous-write (fsync) latency bounds, microseconds.
+    Micros min_write_us = 400;
+    Micros max_write_us = 4'000;
+  };
+
+  StableStore(sim::Simulator& sim, Config cfg, std::uint64_t seed)
+      : sim_(sim), cfg_(cfg), rng_(seed) {}
+
+  /// Durably write `value` under `key`; `done` fires after the simulated
+  /// fsync completes.  A crash before `done` may or may not have persisted
+  /// the write — modeled by committing the data at the START of the fsync
+  /// window (the common torn-write case is out of scope; values are
+  /// checksummed at a higher layer in real systems).
+  void write(const std::string& key, Bytes value, std::function<void()> done = nullptr) {
+    data_[key] = std::move(value);
+    ++writes_;
+    const Micros latency = rng_.range(cfg_.min_write_us, cfg_.max_write_us);
+    if (done) {
+      sim_.after(latency, [done = std::move(done)] { done(); });
+    }
+  }
+
+  /// Read back a key (instant: cold-start reads are not on the hot path).
+  [[nodiscard]] std::optional<Bytes> read(const std::string& key) const {
+    auto it = data_.find(key);
+    if (it == data_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void erase(const std::string& key) { data_.erase(key); }
+
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::size_t keys() const { return data_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  Config cfg_;
+  Rng rng_;
+  std::map<std::string, Bytes> data_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace cts::storage

@@ -1,0 +1,687 @@
+#include "totem/totem.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.hpp"
+
+namespace cts::totem {
+
+namespace {
+constexpr int kMaxTokenRetransAttempts = 5;
+constexpr std::uint32_t kPacketMagic = 0x544f544d;  // "TOTM"
+
+std::uint32_t fnv1a(const Bytes& data, std::size_t from) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = from; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+}
+
+TotemNode::TotemNode(sim::Simulator& sim, net::Network& net, NodeId id, TotemConfig cfg)
+    : sim_(sim), net_(net), id_(id), cfg_(std::move(cfg)) {
+  assert(std::is_sorted(cfg_.universe.begin(), cfg_.universe.end()));
+}
+
+// --- Wire formats ----------------------------------------------------------
+
+Bytes TotemNode::seal(Bytes body) {
+  // [magic u32][checksum u32][body...] — checksum covers the body only.
+  Bytes packet;
+  packet.reserve(body.size() + 8);
+  BytesWriter w;
+  w.u32(kPacketMagic);
+  Bytes tmp = std::move(w).take();
+  packet.insert(packet.end(), tmp.begin(), tmp.end());
+  packet.resize(8);
+  packet.insert(packet.end(), body.begin(), body.end());
+  const std::uint32_t sum = fnv1a(packet, 8);
+  std::memcpy(packet.data() + 4, &sum, 4);
+  return packet;
+}
+
+bool TotemNode::unseal(const Bytes& packet, BytesReader& out_reader) {
+  if (packet.size() < 8) return false;
+  std::uint32_t magic = 0, sum = 0;
+  std::memcpy(&magic, packet.data(), 4);
+  std::memcpy(&sum, packet.data() + 4, 4);
+  if (magic != kPacketMagic) return false;
+  if (sum != fnv1a(packet, 8)) return false;
+  out_reader = BytesReader(std::span<const std::uint8_t>(packet.data() + 8, packet.size() - 8));
+  return true;
+}
+
+Bytes TotemNode::encode_token(const Token& t) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kToken));
+  w.u64(t.ring_id);
+  w.u64(t.token_seq);
+  w.u64(t.seq);
+  w.u64(t.aru);
+  w.u32(t.aru_setter.value);
+  w.u32(t.fcc);
+  w.u32(static_cast<std::uint32_t>(t.rtr.size()));
+  for (auto s : t.rtr) w.u64(s);
+  return seal(std::move(w).take());
+}
+
+Bytes TotemNode::encode_mcast(const Mcast& m) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kMcast));
+  w.u64(m.ring_id);
+  w.u64(m.seq);
+  w.u32(m.sender.value);
+  w.boolean(m.recovery);
+  w.u8(static_cast<std::uint8_t>(m.delivery));
+  w.bytes(m.payload);
+  return seal(std::move(w).take());
+}
+
+Bytes TotemNode::encode_join(const Join& j) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kJoin));
+  w.u32(j.sender.value);
+  w.u32(static_cast<std::uint32_t>(j.perceived.size()));
+  for (auto n : j.perceived) w.u32(n.value);
+  w.u64(j.old_ring_id);
+  w.u64(j.my_aru);
+  w.u64(j.high_seq);
+  return seal(std::move(w).take());
+}
+
+Bytes TotemNode::encode_commit(const Commit& c) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kCommit));
+  w.u64(c.new_ring_id);
+  w.u32(static_cast<std::uint32_t>(c.members.size()));
+  for (const auto& m : c.members) {
+    w.u32(m.node.value);
+    w.u64(m.old_ring_id);
+    w.u64(m.aru);
+    w.u64(m.high_seq);
+  }
+  return seal(std::move(w).take());
+}
+
+// --- Lifecycle ---------------------------------------------------------------
+
+void TotemNode::start() {
+  assert(state_ == State::kDown);
+  net_.attach(id_, [this](NodeId src, const Bytes& data) { on_packet(src, data); });
+  state_ = State::kGather;
+  enter_gather("boot");
+}
+
+void TotemNode::crash() {
+  ++epoch_;  // invalidate every outstanding timer closure
+  cancel_timers();
+  state_ = State::kDown;
+  net_.set_down(id_, true);
+  store_.clear();
+  recovered_.clear();
+  joins_.clear();
+  perceived_.clear();
+  send_queue_.clear();
+  last_sent_token_.reset();
+  view_ = View{};
+  my_aru_ = 0;
+  delivered_up_to_ = 0;
+  last_token_seq_ = 0;
+  token_aru_prev_ = 0;
+  token_aru_last_ = 0;
+}
+
+void TotemNode::restart() {
+  assert(state_ == State::kDown);
+  net_.set_down(id_, false);
+  state_ = State::kGather;
+  enter_gather("restart");
+}
+
+std::uint64_t TotemNode::multicast(Bytes payload, DeliveryClass dc) {
+  const std::uint64_t h = next_handle_++;
+  send_queue_.push_back(Queued{h, dc, std::move(payload)});
+  return h;
+}
+
+bool TotemNode::cancel(std::uint64_t handle) {
+  for (auto it = send_queue_.begin(); it != send_queue_.end(); ++it) {
+    if (it->handle == handle) {
+      send_queue_.erase(it);
+      ++stats_.msgs_cancelled;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Timer plumbing -----------------------------------------------------------
+
+void TotemNode::cancel_timers() {
+  if (seek_armed_) sim_.cancel(seek_timer_), seek_armed_ = false;
+  if (token_loss_armed_) sim_.cancel(token_loss_timer_), token_loss_armed_ = false;
+  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+  if (gather_armed_) sim_.cancel(gather_timer_), gather_armed_ = false;
+  if (commit_armed_) sim_.cancel(commit_timer_), commit_armed_ = false;
+  if (recovery_armed_) sim_.cancel(recovery_timer_), recovery_armed_ = false;
+}
+
+void TotemNode::reset_token_loss_timer() {
+  if (token_loss_armed_) sim_.cancel(token_loss_timer_);
+  token_loss_armed_ = true;
+  token_loss_timer_ = sim_.after(cfg_.token_loss_timeout_us, [this, e = epoch_] {
+    if (e != epoch_ || state_ != State::kOperational) return;
+    token_loss_armed_ = false;
+    enter_gather("token loss");
+  });
+}
+
+// --- Packet dispatch -----------------------------------------------------------
+
+void TotemNode::on_packet(NodeId src, const Bytes& data) {
+  if (state_ == State::kDown) return;
+  static const Bytes kEmpty;
+  BytesReader r(kEmpty);
+  if (!unseal(data, r)) {
+    CTS_DEBUG() << to_string(id_) << " dropped non-Totem/corrupt packet from "
+                << to_string(src);
+    return;
+  }
+  try {
+    switch (static_cast<MsgType>(r.u8())) {
+      case MsgType::kToken: {
+        Token t;
+        t.ring_id = r.u64();
+        t.token_seq = r.u64();
+        t.seq = r.u64();
+        t.aru = r.u64();
+        t.aru_setter = NodeId{r.u32()};
+        t.fcc = r.u32();
+        const auto n = r.u32();
+        t.rtr.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) t.rtr.push_back(r.u64());
+        handle_token(std::move(t));
+        break;
+      }
+      case MsgType::kMcast: {
+        Mcast m;
+        m.ring_id = r.u64();
+        m.seq = r.u64();
+        m.sender = NodeId{r.u32()};
+        m.recovery = r.boolean();
+        m.delivery = static_cast<DeliveryClass>(r.u8());
+        m.payload = r.bytes();
+        handle_mcast(std::move(m));
+        break;
+      }
+      case MsgType::kJoin: {
+        Join j;
+        j.sender = NodeId{r.u32()};
+        const auto n = r.u32();
+        j.perceived.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) j.perceived.push_back(NodeId{r.u32()});
+        j.old_ring_id = r.u64();
+        j.my_aru = r.u64();
+        j.high_seq = r.u64();
+        handle_join(j);
+        break;
+      }
+      case MsgType::kCommit: {
+        Commit c;
+        c.new_ring_id = r.u64();
+        const auto n = r.u32();
+        c.members.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          CommitMember m;
+          m.node = NodeId{r.u32()};
+          m.old_ring_id = r.u64();
+          m.aru = r.u64();
+          m.high_seq = r.u64();
+          c.members.push_back(m);
+        }
+        handle_commit(c);
+        break;
+      }
+    }
+  } catch (const CodecError& e) {
+    CTS_WARN() << to_string(id_) << " dropped malformed packet from " << to_string(src) << ": "
+               << e.what();
+  }
+}
+
+// --- Operational: token -----------------------------------------------------------
+
+NodeId TotemNode::successor() const {
+  const auto& m = view_.members;
+  auto it = std::find(m.begin(), m.end(), id_);
+  assert(it != m.end());
+  ++it;
+  return it == m.end() ? m.front() : *it;
+}
+
+bool TotemNode::in_members(NodeId n, const std::vector<NodeId>& members) const {
+  return std::find(members.begin(), members.end(), n) != members.end();
+}
+
+void TotemNode::handle_token(Token tok) {
+  if (state_ != State::kOperational) return;
+  if (tok.ring_id != view_.ring_id) return;
+  if (tok.token_seq <= last_token_seq_) return;  // duplicate/stale token
+  last_token_seq_ = tok.token_seq;
+  ++stats_.tokens_received;
+  if (token_obs_) token_obs_();
+
+  // Progress: the ring is alive.
+  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+  reset_token_loss_timer();
+
+  // 1. Service retransmission requests for messages we hold.
+  std::vector<TotemSeq> still_missing;
+  for (TotemSeq s : tok.rtr) {
+    auto it = store_.find(s);
+    if (it != store_.end()) {
+      net_.broadcast(id_, encode_mcast(it->second));
+      ++stats_.msgs_retransmitted;
+    } else {
+      still_missing.push_back(s);
+    }
+  }
+  tok.rtr = std::move(still_missing);
+
+  // 2. Broadcast new messages (primary component only), respecting both
+  // the per-visit cap and the rotation window carried on the token: our
+  // previous visit's contribution ages out first.
+  tok.fcc -= std::min(tok.fcc, last_sent_on_token_);
+  if (view_.primary) {
+    // Fair share: no node may claim more than window/members in one visit,
+    // so a flooding sender cannot capture the whole rotation window and
+    // starve its successors on the ring.
+    const int members = static_cast<int>(view_.members.size());
+    const int fair_share = std::max(1, cfg_.window_per_rotation / members);
+    const int budget =
+        std::min({cfg_.max_messages_per_token,
+                  cfg_.window_per_rotation - static_cast<int>(tok.fcc), fair_share});
+    int sent = 0;
+    while (!send_queue_.empty() && sent < budget) {
+      Mcast m;
+      m.ring_id = view_.ring_id;
+      m.seq = ++tok.seq;
+      m.sender = id_;
+      m.delivery = send_queue_.front().delivery;
+      m.payload = std::move(send_queue_.front().payload);
+      send_queue_.pop_front();
+      net_.broadcast(id_, encode_mcast(m));
+      ++stats_.msgs_multicast;
+      store_and_deliver(std::move(m));  // self-delivery
+      ++sent;
+    }
+    tok.fcc += static_cast<std::uint32_t>(sent);
+    last_sent_on_token_ = static_cast<std::uint32_t>(sent);
+  } else {
+    last_sent_on_token_ = 0;
+  }
+
+  // 3. Request retransmission of our own gaps.
+  for (TotemSeq s = my_aru_ + 1; s <= tok.seq; ++s) {
+    if (!store_.contains(s) &&
+        std::find(tok.rtr.begin(), tok.rtr.end(), s) == tok.rtr.end()) {
+      tok.rtr.push_back(s);
+    }
+  }
+
+  // 4. Update all-received-up-to.
+  if (tok.aru > my_aru_) {
+    tok.aru = my_aru_;
+    tok.aru_setter = id_;
+  } else if (tok.aru_setter == id_ || !tok.aru_setter.valid()) {
+    tok.aru = my_aru_;
+    if (tok.aru == tok.seq) tok.aru_setter = NodeId{};
+  }
+
+  // Safe-delivery horizon: aru held across two successive token visits
+  // means every member holds those messages.
+  token_aru_prev_ = token_aru_last_;
+  token_aru_last_ = tok.aru;
+  deliver_contiguous();
+
+  // 5. Forward the token after the hold time.
+  sim_.after(cfg_.token_hold_us, [this, e = epoch_, tok = std::move(tok)]() mutable {
+    if (e != epoch_ || state_ != State::kOperational || tok.ring_id != view_.ring_id) return;
+    send_token_to_successor(std::move(tok));
+  });
+}
+
+void TotemNode::send_token_to_successor(Token tok) {
+  tok.token_seq += 1;
+  last_sent_token_ = tok;
+  ++stats_.tokens_sent;
+
+  const NodeId next = successor();
+  if (next == id_) {
+    // Singleton ring: loop the token back to ourselves through the event
+    // queue so time still advances.
+    sim_.after(cfg_.token_hold_us + 1, [this, e = epoch_, tok] {
+      if (e != epoch_) return;
+      handle_token(tok);
+    });
+    return;
+  }
+  net_.send(id_, next, encode_token(tok));
+  token_retrans_attempts_ = 0;
+  arm_token_retrans();
+}
+
+void TotemNode::arm_token_retrans() {
+  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_);
+  token_retrans_armed_ = true;
+  token_retrans_timer_ = sim_.after(cfg_.token_retrans_timeout_us, [this, e = epoch_] {
+    if (e != epoch_ || state_ != State::kOperational || !last_sent_token_) return;
+    token_retrans_armed_ = false;
+    // Give up after a few attempts: the token-loss timeout will rebuild the
+    // ring if the successor really is gone.
+    if (token_retrans_attempts_ >= kMaxTokenRetransAttempts) return;
+    ++token_retrans_attempts_;
+    ++stats_.token_retransmissions;
+    net_.send(id_, successor(), encode_token(*last_sent_token_));
+    arm_token_retrans();
+  });
+}
+
+// --- Operational: messages ------------------------------------------------------
+
+void TotemNode::handle_mcast(Mcast m) {
+  if (state_ == State::kOperational) {
+    if (m.ring_id == view_.ring_id) {
+      store_and_deliver(std::move(m));
+      // Seeing traffic means the token moved on: stop retransmitting it.
+      if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+      return;
+    }
+    if (!known_rings_.contains(m.ring_id)) {
+      // Foreign message: another component exists (e.g. after a partition
+      // heals).  Trigger the membership protocol to merge.
+      enter_gather("foreign message");
+    }
+    return;
+  }
+  if (state_ == State::kRecover || state_ == State::kGather) {
+    // Old-ring traffic (including recovery rebroadcasts) for our own old
+    // ring still counts: it fills gaps so the survivor set converges.
+    if (m.ring_id == view_.ring_id) store_and_deliver(std::move(m));
+  }
+}
+
+void TotemNode::store_and_deliver(Mcast m) {
+  const TotemSeq seq = m.seq;
+  if (seq <= delivered_up_to_ || store_.contains(seq)) return;  // duplicate
+  store_.emplace(seq, std::move(m));
+  while (store_.contains(my_aru_ + 1)) ++my_aru_;
+  deliver_contiguous();
+}
+
+void TotemNode::deliver_contiguous() {
+  const TotemSeq safe_horizon = std::min(token_aru_prev_, token_aru_last_);
+  while (delivered_up_to_ < my_aru_) {
+    auto it = store_.find(delivered_up_to_ + 1);
+    assert(it != store_.end());
+    // A safe-class message (and therefore everything ordered after it)
+    // waits until the token's aru has confirmed group-wide reception over
+    // two rotations.  During a configuration change the survivors flush
+    // pending messages transitionally instead.
+    if (it->second.delivery == DeliveryClass::kSafe && !transitional_flush_ &&
+        it->second.seq > safe_horizon) {
+      break;
+    }
+    ++delivered_up_to_;
+    ++stats_.msgs_delivered;
+    if (deliver_) deliver_(it->second.sender, it->second.payload);
+  }
+}
+
+// --- Membership: gather ------------------------------------------------------------
+
+void TotemNode::enter_gather(const char* reason) {
+  if (state_ == State::kDown) return;
+  CTS_DEBUG() << to_string(id_) << " entering gather (" << reason << ")";
+  // Leaving operational: stop the ring timers; keep store_ (old-ring
+  // messages are recovered after the next commit).
+  if (token_loss_armed_) sim_.cancel(token_loss_timer_), token_loss_armed_ = false;
+  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+  if (commit_armed_) sim_.cancel(commit_timer_), commit_armed_ = false;
+  if (recovery_armed_) sim_.cancel(recovery_timer_), recovery_armed_ = false;
+  state_ = State::kGather;
+  joins_.clear();
+  perceived_.clear();
+  perceived_.insert(id_);
+  broadcast_join();
+
+  if (gather_armed_) sim_.cancel(gather_timer_);
+  gather_armed_ = true;
+  gather_timer_ = sim_.after(cfg_.gather_timeout_us, [this, e = epoch_] {
+    if (e != epoch_ || state_ != State::kGather) return;
+    gather_armed_ = false;
+    on_gather_deadline();
+  });
+}
+
+void TotemNode::broadcast_join() {
+  Join j;
+  j.sender = id_;
+  j.perceived.assign(perceived_.begin(), perceived_.end());
+  j.old_ring_id = view_.ring_id;
+  j.my_aru = my_aru_;
+  j.high_seq = store_.empty() ? my_aru_ : store_.rbegin()->first;
+  joins_[id_] = j;
+  net_.broadcast(id_, encode_join(j));
+}
+
+void TotemNode::handle_join(const Join& j) {
+  if (state_ == State::kDown) return;
+  if (state_ == State::kOperational) {
+    if (in_members(j.sender, view_.members)) {
+      // A current member lost the token or crashed+restarted: the ring is
+      // broken, re-form it.
+      enter_gather("member join");
+    } else {
+      // A new or recovered node wants in.
+      enter_gather("new node join");
+    }
+    // enter_gather broadcast our join; fall through to record theirs.
+  } else if (state_ == State::kRecover) {
+    // Someone is re-gathering while we recover: abandon and regather so the
+    // membership converges on one commit.
+    enter_gather("join during recovery");
+  }
+
+  joins_[j.sender] = j;
+  bool grew = perceived_.insert(j.sender).second;
+  for (NodeId n : j.perceived) grew |= perceived_.insert(n).second;
+  if (grew) {
+    // Our view of the candidate set changed: re-announce and give everyone
+    // time to converge on the same set.
+    broadcast_join();
+    if (gather_armed_) sim_.cancel(gather_timer_);
+    gather_armed_ = true;
+    gather_timer_ = sim_.after(cfg_.gather_timeout_us, [this, e = epoch_] {
+      if (e != epoch_ || state_ != State::kGather) return;
+      gather_armed_ = false;
+      on_gather_deadline();
+    });
+  }
+}
+
+void TotemNode::on_gather_deadline() {
+  // Candidates are the nodes actually heard from (plus ourselves); nodes we
+  // merely perceived but never heard are treated as dead.
+  std::vector<NodeId> candidates;
+  candidates.reserve(joins_.size());
+  for (const auto& [n, _] : joins_) candidates.push_back(n);
+  std::sort(candidates.begin(), candidates.end());
+
+  if (candidates.front() == id_) {
+    // We are the representative: commit a new ring.
+    Commit c;
+    RingId max_old = max_ring_seen_;
+    for (const auto& [_, j] : joins_) max_old = std::max(max_old, j.old_ring_id);
+    // Ring ids embed the representative id so two components that commit
+    // concurrently can never mint the same ring id.
+    c.new_ring_id = (((max_old >> 8) + 1) << 8) | (id_.value & 0xff);
+    for (NodeId n : candidates) {
+      const Join& j = joins_.at(n);
+      c.members.push_back(CommitMember{n, j.old_ring_id, j.my_aru, j.high_seq});
+    }
+    net_.broadcast(id_, encode_commit(c));
+    handle_commit(c);  // local delivery
+  } else {
+    // Wait for the representative's commit; regather if it never comes
+    // (e.g. the representative crashed right after the gather phase).
+    if (commit_armed_) sim_.cancel(commit_timer_);
+    commit_armed_ = true;
+    commit_timer_ = sim_.after(cfg_.commit_timeout_us, [this, e = epoch_] {
+      if (e != epoch_ || state_ != State::kGather) return;
+      commit_armed_ = false;
+      enter_gather("commit timeout");
+    });
+  }
+}
+
+void TotemNode::handle_commit(const Commit& c) {
+  if (state_ != State::kGather) return;
+  bool me_in = false;
+  for (const auto& m : c.members) me_in |= (m.node == id_);
+  if (!me_in) return;
+  if (c.new_ring_id <= max_ring_seen_) return;  // stale commit
+  if (gather_armed_) sim_.cancel(gather_timer_), gather_armed_ = false;
+  if (commit_armed_) sim_.cancel(commit_timer_), commit_armed_ = false;
+  begin_recovery(c);
+}
+
+// --- Membership: recovery -----------------------------------------------------------
+
+void TotemNode::begin_recovery(const Commit& c) {
+  state_ = State::kRecover;
+  pending_commit_ = c;
+
+  // Rebroadcast every old-ring message we hold beyond the group's minimum
+  // aru, so all survivors of our old ring converge on the same set; record
+  // the highest seq anyone reported so finish_recovery can verify we
+  // actually converged.
+  recovery_target_ = 0;
+  if (view_.ring_id != 0) {
+    TotemSeq low = my_aru_;
+    for (const auto& m : c.members) {
+      if (m.old_ring_id == view_.ring_id) {
+        low = std::min(low, m.aru);
+        recovery_target_ = std::max(recovery_target_, m.high_seq);
+      }
+    }
+    recovery_target_ = std::max(recovery_target_,
+                                store_.empty() ? my_aru_ : store_.rbegin()->first);
+    for (auto it = store_.upper_bound(low); it != store_.end(); ++it) {
+      Mcast copy = it->second;
+      copy.recovery = true;
+      net_.broadcast(id_, encode_mcast(copy));
+      ++stats_.msgs_retransmitted;
+    }
+  }
+
+  if (recovery_armed_) sim_.cancel(recovery_timer_);
+  recovery_armed_ = true;
+  recovery_timer_ = sim_.after(cfg_.recovery_timeout_us, [this, e = epoch_] {
+    if (e != epoch_ || state_ != State::kRecover) return;
+    recovery_armed_ = false;
+    finish_recovery();
+  });
+}
+
+void TotemNode::finish_recovery() {
+  // If loss during the recovery window left a hole below the group's high
+  // mark, retry the membership protocol (every survivor rebroadcasts
+  // again) instead of installing with a gap that would silently diverge
+  // the delivered sequences.  Bounded: a message no survivor holds cannot
+  // be recovered (it was never delivered as agreed anywhere), so after a
+  // few attempts we proceed with what the survivor set has.
+  if (view_.ring_id != 0 && my_aru_ < recovery_target_ && recovery_attempts_ < 3) {
+    ++recovery_attempts_;
+    CTS_DEBUG() << to_string(id_) << " recovery incomplete (aru " << my_aru_ << " < target "
+                << recovery_target_ << "), retrying membership";
+    enter_gather("recovery incomplete");
+    return;
+  }
+
+  // Deliver everything contiguous from the old ring, including safe-class
+  // messages whose group-wide reception can no longer be confirmed on the
+  // dead ring (transitional delivery to the survivor set).
+  transitional_flush_ = true;
+  deliver_contiguous();
+  transitional_flush_ = false;
+  const Commit& c = pending_commit_;
+  View v;
+  v.ring_id = c.new_ring_id;
+  for (const auto& m : c.members) v.members.push_back(m.node);
+  std::sort(v.members.begin(), v.members.end());
+  v.primary = is_primary(v.members);
+  install(v);
+}
+
+bool TotemNode::is_primary(const std::vector<NodeId>& members) const {
+  if (cfg_.universe.empty()) return true;  // no universe configured: always primary
+  std::size_t present = 0;
+  for (NodeId n : cfg_.universe) {
+    if (in_members(n, members)) ++present;
+  }
+  return present * 2 > cfg_.universe.size();
+}
+
+void TotemNode::install(const View& v) {
+  if (view_.ring_id != 0) known_rings_.insert(view_.ring_id);
+  known_rings_.insert(v.ring_id);
+  max_ring_seen_ = std::max(max_ring_seen_, v.ring_id);
+  view_ = v;
+  store_.clear();
+  recovered_.clear();
+  my_aru_ = 0;
+  delivered_up_to_ = 0;
+  last_token_seq_ = 0;
+  token_aru_prev_ = 0;
+  token_aru_last_ = 0;
+  last_sent_on_token_ = 0;
+  last_sent_token_.reset();
+  state_ = State::kOperational;
+  recovery_attempts_ = 0;
+  ++stats_.membership_changes;
+  CTS_INFO() << to_string(id_) << " installed ring " << v.ring_id << " with " << v.members.size()
+             << " members" << (v.primary ? " (primary)" : " (non-primary)");
+  if (view_cb_) view_cb_(view_);
+
+  reset_token_loss_timer();
+  if (seek_armed_) sim_.cancel(seek_timer_), seek_armed_ = false;
+  if (!view_.primary) {
+    // Keep looking for the rest of the universe: once the partition heals,
+    // the periodic Join reaches the primary component and triggers a merge
+    // even if nobody is multicasting.
+    seek_armed_ = true;
+    seek_timer_ = sim_.after(cfg_.seek_interval_us, [this, e = epoch_] {
+      if (e != epoch_ || state_ != State::kOperational || view_.primary) return;
+      seek_armed_ = false;
+      enter_gather("seeking primary component");
+    });
+  }
+  if (view_.members.front() == id_) {
+    // Ring leader creates the first token of the configuration.
+    Token tok;
+    tok.ring_id = view_.ring_id;
+    tok.token_seq = 1;
+    tok.seq = 0;
+    tok.aru = 0;
+    sim_.after(cfg_.token_hold_us, [this, e = epoch_, tok] {
+      if (e != epoch_) return;
+      handle_token(tok);
+    });
+  }
+}
+
+}  // namespace cts::totem

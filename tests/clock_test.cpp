@@ -1,0 +1,147 @@
+// Unit tests for the physical clock model: drift, granularity, offsets,
+// fail-stop semantics, and the NTP/GPS-like reference source.
+#include <gtest/gtest.h>
+
+#include "clock/physical_clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::clock {
+namespace {
+
+constexpr Micros kEpoch = 1056326400LL * 1000000LL;
+
+ClockConfig ideal() {
+  ClockConfig cfg;
+  cfg.initial_offset_us = 0;
+  cfg.drift_ppm = 0.0;
+  cfg.granularity_us = 1;
+  return cfg;
+}
+
+TEST(PhysicalClockTest, IdealClockTracksSimTime) {
+  sim::Simulator sim;
+  PhysicalClock c(sim, ideal());
+  EXPECT_EQ(c.read(), kEpoch);
+  sim.run_until(1'000'000);
+  EXPECT_EQ(c.read(), kEpoch + 1'000'000);
+}
+
+TEST(PhysicalClockTest, InitialOffsetShiftsReadings) {
+  sim::Simulator sim;
+  auto cfg = ideal();
+  cfg.initial_offset_us = 250'000;
+  PhysicalClock c(sim, cfg);
+  EXPECT_EQ(c.read(), kEpoch + 250'000);
+}
+
+TEST(PhysicalClockTest, PositiveDriftGainsMicrosecondsPerSecond) {
+  sim::Simulator sim;
+  auto cfg = ideal();
+  cfg.drift_ppm = 20.0;  // gains 20us per second
+  PhysicalClock c(sim, cfg);
+  sim.run_until(10'000'000);  // 10 s
+  EXPECT_EQ(c.read(), kEpoch + 10'000'000 + 200);
+}
+
+TEST(PhysicalClockTest, NegativeDriftLosesTime) {
+  sim::Simulator sim;
+  auto cfg = ideal();
+  cfg.drift_ppm = -50.0;
+  PhysicalClock c(sim, cfg);
+  sim.run_until(1'000'000);
+  EXPECT_EQ(c.read(), kEpoch + 1'000'000 - 50);
+}
+
+TEST(PhysicalClockTest, GranularityQuantizesReadings) {
+  sim::Simulator sim;
+  auto cfg = ideal();
+  cfg.granularity_us = 10'000;  // 10ms ticks, like a coarse OS timer
+  PhysicalClock c(sim, cfg);
+  sim.run_until(123'456);
+  EXPECT_EQ(c.read() % 10'000, 0);
+  EXPECT_LE(kEpoch + 120'000, c.read());
+  EXPECT_LE(c.read(), kEpoch + 123'456);
+}
+
+TEST(PhysicalClockTest, ReadingsAreMonotoneUnderForwardTime) {
+  sim::Simulator sim;
+  Rng rng(2);
+  auto cfg = random_clock_config(rng);
+  PhysicalClock c(sim, cfg);
+  Micros prev = c.read();
+  for (int i = 0; i < 100; ++i) {
+    sim.run_until(sim.now() + 1000);
+    Micros v = c.read();
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(PhysicalClockTest, NormalizedFirstReadingIsZero) {
+  sim::Simulator sim;
+  auto cfg = ideal();
+  cfg.initial_offset_us = 12345;
+  PhysicalClock c(sim, cfg);
+  sim.run_until(500);
+  EXPECT_EQ(c.read_normalized(), 0);
+  sim.run_until(1500);
+  EXPECT_EQ(c.read_normalized(), 1000);
+}
+
+TEST(PhysicalClockDeathTest, ReadAfterFailAsserts) {
+  sim::Simulator sim;
+  PhysicalClock c(sim, ideal());
+  c.fail();
+  EXPECT_FALSE(c.alive());
+  EXPECT_DEBUG_DEATH({ (void)c.read(); }, "fail-stop");
+}
+
+TEST(PhysicalClockTest, RestartReenablesWithNewOffset) {
+  sim::Simulator sim;
+  PhysicalClock c(sim, ideal());
+  c.fail();
+  c.restart(777);
+  EXPECT_TRUE(c.alive());
+  EXPECT_EQ(c.read(), kEpoch + 777);
+  // Normalization base resets too (a rebooted host re-baselines).
+  EXPECT_EQ(c.read_normalized(), 0);
+}
+
+TEST(RandomClockConfigTest, StaysWithinRequestedBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    auto cfg = random_clock_config(rng, 100'000, 30.0);
+    EXPECT_LE(std::abs(cfg.initial_offset_us), 100'000);
+    EXPECT_LE(std::abs(cfg.drift_ppm), 30.0);
+  }
+}
+
+TEST(RandomClockConfigTest, ProducesDiverseClocks) {
+  Rng rng(6);
+  auto a = random_clock_config(rng);
+  auto b = random_clock_config(rng);
+  EXPECT_TRUE(a.initial_offset_us != b.initial_offset_us || a.drift_ppm != b.drift_ppm);
+}
+
+// --- Reference time source -------------------------------------------------------
+
+TEST(ReferenceTimeSourceTest, TracksRealTimeWithinMaxSkew) {
+  sim::Simulator sim;
+  ReferenceTimeSource ref(sim, Rng(3), /*max_skew_us=*/1000);
+  for (int i = 0; i < 1000; ++i) {
+    sim.run_until(sim.now() + 10'000);
+    const Micros err = ref.read() - (kEpoch + sim.now());
+    EXPECT_LE(std::abs(err), 1000);
+  }
+}
+
+TEST(ReferenceTimeSourceTest, HasNoDriftOverLongHorizons) {
+  sim::Simulator sim;
+  ReferenceTimeSource ref(sim, Rng(4), 500);
+  sim.run_until(3600LL * 1'000'000);  // one simulated hour
+  const Micros err = ref.read() - (kEpoch + sim.now());
+  EXPECT_LE(std::abs(err), 500);  // bounded, unlike a drifting clock
+}
+
+}  // namespace
+}  // namespace cts::clock

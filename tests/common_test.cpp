@@ -1,0 +1,255 @@
+// Unit tests for the common layer: strong ids, byte codec, RNG, histogram.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace cts {
+namespace {
+
+// --- Strong ids ---------------------------------------------------------------
+
+TEST(TypesTest, DefaultIdsAreInvalid) {
+  EXPECT_FALSE(NodeId{}.valid());
+  EXPECT_FALSE(GroupId{}.valid());
+  EXPECT_FALSE(ThreadId{}.valid());
+}
+
+TEST(TypesTest, ExplicitIdsAreValidAndComparable) {
+  NodeId a{1}, b{2}, a2{1};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(TypesTest, ToStringUsesTypedPrefixes) {
+  EXPECT_EQ(to_string(NodeId{3}), "n3");
+  EXPECT_EQ(to_string(GroupId{7}), "g7");
+  EXPECT_EQ(to_string(ConnectionId{1}), "c1");
+  EXPECT_EQ(to_string(ThreadId{0}), "t0");
+  EXPECT_EQ(to_string(ReplicaId{2}), "r2");
+}
+
+TEST(TypesTest, IdsAreHashable) {
+  std::set<NodeId> s{NodeId{1}, NodeId{2}, NodeId{1}};
+  EXPECT_EQ(s.size(), 2u);
+  std::hash<NodeId> h;
+  EXPECT_EQ(h(NodeId{5}), h(NodeId{5}));
+}
+
+// --- Byte codec ----------------------------------------------------------------
+
+TEST(BytesTest, RoundTripsAllScalarWidths) {
+  BytesWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  BytesReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, RoundTripsStringsAndBytes) {
+  BytesWriter w;
+  w.str("hello world");
+  Bytes blob{1, 2, 3, 255};
+  w.bytes(blob);
+  w.str("");
+
+  BytesReader r(w.data());
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(BytesTest, ThrowsOnTruncatedScalar) {
+  BytesWriter w;
+  w.u16(7);
+  BytesReader r(w.data());
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(BytesTest, ThrowsOnLyingLengthPrefix) {
+  BytesWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; none do
+  BytesReader r(w.data());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(BytesTest, RemainingTracksConsumption) {
+  BytesWriter w;
+  w.u32(1);
+  w.u32(2);
+  BytesReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+// --- RNG --------------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, RangeIsInclusiveAndCoversEndpoints) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  double acc = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc += u;
+  }
+  EXPECT_NEAR(acc / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceRespectsProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, GaussianMeanAndSpread) {
+  Rng rng(13);
+  double acc = 0, acc2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.gaussian(10.0, 2.0);
+    acc += g;
+    acc2 += g * g;
+  }
+  const double mean = acc / n;
+  const double var = acc2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.4);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double acc = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(100.0);
+  EXPECT_NEAR(acc / n, 100.0, 5.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng a2(5);
+  a2.fork();
+  EXPECT_EQ(a.next(), a2.next());  // parent streams still aligned
+  int same = 0;
+  Rng c2 = Rng(5).fork();
+  for (int i = 0; i < 64; ++i) same += (child.next() == c2.next());
+  EXPECT_EQ(same, 64);  // forking is itself deterministic
+}
+
+// --- Histogram ----------------------------------------------------------------------
+
+TEST(HistogramTest, CountMeanMinMax) {
+  Histogram h(10, 1000);
+  h.add(10);
+  h.add(20);
+  h.add(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 30);
+}
+
+TEST(HistogramTest, PercentilesOnKnownData) {
+  Histogram h(1, 200);
+  for (Micros v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.percentile(0.0), 1);
+  EXPECT_EQ(h.percentile(0.5), 50);
+  EXPECT_EQ(h.percentile(1.0), 100);
+}
+
+TEST(HistogramTest, ModeBinFindsThePeak) {
+  Histogram h(10, 1000);
+  for (int i = 0; i < 5; ++i) h.add(500 + i);  // 5 samples in bin 500
+  h.add(100);
+  h.add(900);
+  EXPECT_EQ(h.mode_bin(), 500);
+}
+
+TEST(HistogramTest, DensitySumsToOne) {
+  Histogram h(50, 2000);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.add(rng.range(0, 1999));
+  double total = 0;
+  for (auto [_, d] : h.density()) total += d;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, OverflowSamplesLandInLastBin) {
+  Histogram h(10, 100);
+  h.add(5000);  // way past max_value
+  EXPECT_EQ(h.count(), 1u);
+  auto rows = h.density();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, 100);  // the overflow bin
+}
+
+TEST(HistogramTest, NegativeSamplesClampToFirstBin) {
+  Histogram h(10, 100);
+  h.add(-50);
+  auto rows = h.density();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].first, 0);
+}
+
+TEST(HistogramTest, TableContainsSummary) {
+  Histogram h(10, 100);
+  h.add(42);
+  auto t = h.table("latency");
+  EXPECT_NE(t.find("latency"), std::string::npos);
+  EXPECT_NE(t.find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cts

@@ -1,0 +1,138 @@
+// Tests for the generic nondeterministic-decision relay (semi-active
+// replication's Delta-4 mechanism, paper Section 2).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gcs/gcs.hpp"
+#include "net/network.hpp"
+#include "replication/decision_relay.hpp"
+#include "sim/simulator.hpp"
+#include "totem/totem.hpp"
+
+namespace cts::replication {
+namespace {
+
+constexpr GroupId kGroup{1};
+constexpr ConnectionId kConn{300};
+
+struct Rig {
+  sim::Simulator sim{1};
+  net::Network net;
+  std::vector<std::unique_ptr<totem::TotemNode>> totems;
+  std::vector<std::unique_ptr<gcs::GcsEndpoint>> eps;
+  std::vector<std::unique_ptr<DecisionRelay>> relays;
+
+  explicit Rig(std::size_t n) : net(sim, {}) {
+    totem::TotemConfig tcfg;
+    for (std::uint32_t i = 0; i < n; ++i) tcfg.universe.push_back(NodeId{i});
+    for (std::uint32_t i = 0; i < n; ++i) {
+      totems.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
+      eps.push_back(std::make_unique<gcs::GcsEndpoint>(sim, *totems.back()));
+      relays.push_back(
+          std::make_unique<DecisionRelay>(sim, *eps.back(), kGroup, kConn, ReplicaId{i}));
+    }
+    relays[0]->set_primary(true);
+    for (auto& t : totems) t->start();
+    sim.run_for(100'000);
+  }
+};
+
+Bytes val(std::uint64_t v) {
+  BytesWriter w;
+  w.u64(v);
+  return std::move(w).take();
+}
+std::uint64_t unval(const Bytes& b) { return BytesReader(b).u64(); }
+
+sim::Task decide_loop(DecisionRelay& relay, ThreadId stream, Rng rng, int n,
+                      std::vector<std::uint64_t>& out, sim::Simulator& sim) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim.delay(200);
+    // Each replica's local "random" decider draws from a DIFFERENT stream —
+    // the relay must make them agree anyway.
+    const std::uint64_t mine = rng.next();
+    const Bytes decided = co_await relay.decide_await(stream, [mine] { return val(mine); });
+    out.push_back(unval(decided));
+  }
+}
+
+TEST(DecisionRelayTest, BackupsAdoptThePrimarysDecisions) {
+  Rig rig(3);
+  std::vector<std::vector<std::uint64_t>> got(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    decide_loop(*rig.relays[i], ThreadId{0}, Rng(100 + i), 20, got[i], rig.sim);
+  }
+  rig.sim.run_for(60'000'000);
+  ASSERT_EQ(got[0].size(), 20u);
+  EXPECT_EQ(got[1], got[0]);
+  EXPECT_EQ(got[2], got[0]);
+  // The adopted values are the primary's own draws.
+  Rng primary_rng(100);
+  for (std::size_t i = 0; i < got[0].size(); ++i) {
+    EXPECT_EQ(got[0][i], primary_rng.next());
+  }
+}
+
+TEST(DecisionRelayTest, OnlyPrimarySendsDecisions) {
+  Rig rig(3);
+  std::vector<std::vector<std::uint64_t>> got(3);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    decide_loop(*rig.relays[i], ThreadId{0}, Rng(100 + i), 10, got[i], rig.sim);
+  }
+  rig.sim.run_for(60'000'000);
+  EXPECT_EQ(rig.relays[0]->decisions_made(), 10u);
+  EXPECT_EQ(rig.relays[1]->decisions_made(), 0u);
+  EXPECT_EQ(rig.relays[2]->decisions_made(), 0u);
+}
+
+TEST(DecisionRelayTest, IndependentStreamsDoNotInterfere) {
+  Rig rig(2);
+  std::vector<std::uint64_t> s1_a, s1_b, s2_a, s2_b;
+  decide_loop(*rig.relays[0], ThreadId{1}, Rng(5), 10, s1_a, rig.sim);
+  decide_loop(*rig.relays[0], ThreadId{2}, Rng(6), 10, s2_a, rig.sim);
+  decide_loop(*rig.relays[1], ThreadId{1}, Rng(7), 10, s1_b, rig.sim);
+  decide_loop(*rig.relays[1], ThreadId{2}, Rng(8), 10, s2_b, rig.sim);
+  rig.sim.run_for(60'000'000);
+  EXPECT_EQ(s1_a, s1_b);
+  EXPECT_EQ(s2_a, s2_b);
+  EXPECT_NE(s1_a, s2_a);  // streams carry different decision sequences
+}
+
+TEST(DecisionRelayTest, PromotedBackupReissuesPendingDecision) {
+  Rig rig(3);
+  std::vector<std::uint64_t> got0, got1;
+  decide_loop(*rig.relays[0], ThreadId{0}, Rng(100), 5, got0, rig.sim);
+  decide_loop(*rig.relays[1], ThreadId{0}, Rng(200), 6, got1, rig.sim);
+  // Let five decisions land everywhere.
+  while (got1.size() < 5 && rig.sim.now() < 60'000'000) rig.sim.run_until(rig.sim.now() + 1'000);
+  ASSERT_EQ(got1.size(), 5u);
+
+  // The primary dies; the backup's 6th decision is pending with nothing
+  // buffered.  Promotion re-issues it from the backup's own decider.
+  rig.totems[0]->crash();
+  rig.relays[1]->set_primary(true);
+  rig.sim.run_for(30'000'000);
+  ASSERT_EQ(got1.size(), 6u);
+  Rng backup_rng(200);
+  std::uint64_t sixth = 0;
+  for (int i = 0; i < 6; ++i) sixth = backup_rng.next();
+  EXPECT_EQ(got1.back(), sixth);
+}
+
+TEST(DecisionRelayTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Rig rig(2);
+    std::vector<std::uint64_t> got;
+    decide_loop(*rig.relays[1], ThreadId{0}, Rng(9), 8, got, rig.sim);
+    std::vector<std::uint64_t> primary_side;
+    decide_loop(*rig.relays[0], ThreadId{0}, Rng(3), 8, primary_side, rig.sim);
+    rig.sim.run_for(60'000'000);
+    return got;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cts::replication

@@ -1,0 +1,226 @@
+// Tests for the multi-group causal-timestamp extension (paper Section 5).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clock/physical_clock.hpp"
+#include "cts/consistent_time_service.hpp"
+#include "cts/multigroup.hpp"
+#include "gcs/gcs.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "totem/totem.hpp"
+
+namespace cts::ccs {
+namespace {
+
+constexpr GroupId kGroupA{10};
+constexpr GroupId kGroupB{11};
+constexpr ConnectionId kCcsConnA{100};
+constexpr ConnectionId kCcsConnB{101};
+constexpr ConnectionId kInterConn{200};
+constexpr ThreadId kThread{0};
+
+/// Two replica groups (2 replicas each) on one shared 4-node ring.
+/// Group A's hardware clocks run AHEAD of group B's by `gap_us`.
+struct TwoGroupRig {
+  sim::Simulator sim{1};
+  net::Network net;
+  std::vector<std::unique_ptr<totem::TotemNode>> totems;
+  std::vector<std::unique_ptr<gcs::GcsEndpoint>> eps;
+  std::vector<std::unique_ptr<clock::PhysicalClock>> clocks;
+  std::vector<std::unique_ptr<ConsistentTimeService>> svcs;  // 0,1=A; 2,3=B
+  std::vector<std::unique_ptr<CausalMessenger>> messengers;
+
+  explicit TwoGroupRig(Micros gap_us) : net(sim, {}) {
+    totem::TotemConfig tcfg;
+    for (std::uint32_t i = 0; i < 4; ++i) tcfg.universe.push_back(NodeId{i});
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      const bool in_a = i < 2;
+      totems.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
+      eps.push_back(std::make_unique<gcs::GcsEndpoint>(sim, *totems.back()));
+      clock::ClockConfig ccfg;
+      ccfg.initial_offset_us = in_a ? gap_us : 0;
+      clocks.push_back(std::make_unique<clock::PhysicalClock>(sim, ccfg));
+      CtsConfig cfg;
+      cfg.group = in_a ? kGroupA : kGroupB;
+      cfg.ccs_conn = in_a ? kCcsConnA : kCcsConnB;
+      cfg.replica = ReplicaId{i % 2};
+      svcs.push_back(std::make_unique<ConsistentTimeService>(sim, *eps.back(), *clocks.back(), cfg));
+      messengers.push_back(std::make_unique<CausalMessenger>(*eps.back(), *svcs.back(),
+                                                             cfg.group, kThread));
+    }
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      totems[i]->start();
+      eps[i]->join_group(i < 2 ? kGroupA : kGroupB, ReplicaId{i % 2});
+    }
+    sim.run_for(100'000);
+  }
+};
+
+// Free-function coroutines: a lambda coroutine created inside a delivery
+// callback would be destroyed (with its captures) while still suspended.
+sim::Task read_clock_into(ConsistentTimeService& svc, Micros& out) {
+  out = co_await svc.get_time(kThread);
+}
+
+sim::Task read_clock_push(ConsistentTimeService& svc, std::vector<Micros>& out) {
+  out.push_back(co_await svc.get_time(kThread));
+}
+
+TEST(StampedPayloadTest, RoundTrips) {
+  StampedPayload p;
+  p.timestamp = 123456789;
+  p.body = Bytes{1, 2, 3};
+  auto q = StampedPayload::decode(p.encode());
+  EXPECT_EQ(q.timestamp, p.timestamp);
+  EXPECT_EQ(q.body, p.body);
+}
+
+TEST(CausalFloorTest, AdvanceIsMonotoneAndIdempotent) {
+  sim::Simulator sim;
+  net::Network net(sim, {});
+  totem::TotemConfig tcfg;
+  tcfg.universe = {NodeId{0}};
+  totem::TotemNode t(sim, net, NodeId{0}, tcfg);
+  gcs::GcsEndpoint ep(sim, t);
+  clock::PhysicalClock pc(sim, {});
+  ConsistentTimeService svc(sim, ep, pc, CtsConfig{kGroupA, kCcsConnA, ReplicaId{0}});
+  EXPECT_EQ(svc.causal_floor(), kNoTime);
+  svc.advance_causal_floor(100);
+  EXPECT_EQ(svc.causal_floor(), 100);
+  svc.advance_causal_floor(50);  // lower: ignored
+  EXPECT_EQ(svc.causal_floor(), 100);
+  svc.advance_causal_floor(200);
+  EXPECT_EQ(svc.causal_floor(), 200);
+}
+
+TEST(CausalFloorTest, FloorSurvivesCheckpointRestore) {
+  sim::Simulator sim;
+  net::Network net(sim, {});
+  totem::TotemConfig tcfg;
+  tcfg.universe = {NodeId{0}};
+  totem::TotemNode t(sim, net, NodeId{0}, tcfg);
+  gcs::GcsEndpoint ep(sim, t);
+  clock::PhysicalClock pc(sim, {});
+  ConsistentTimeService a(sim, ep, pc, CtsConfig{kGroupA, kCcsConnA, ReplicaId{0}});
+  a.advance_causal_floor(777);
+  ConsistentTimeService b(sim, ep, pc, CtsConfig{kGroupA, kCcsConnA, ReplicaId{1}});
+  b.restore(a.checkpoint());
+  EXPECT_EQ(b.causal_floor(), 777);
+}
+
+TEST(MultigroupTest, WithoutTimestampsCausalityIsViolated) {
+  // Group A's clocks are 300ms ahead.  A reads its group clock and sends a
+  // PLAIN message to B; B's subsequent reading is far below A's — the
+  // exact anomaly Section 5 warns about.
+  TwoGroupRig rig(300'000);
+
+  Micros a_ts = 0, b_read = 0;
+  auto flow = [&]() -> sim::Task {
+    a_ts = co_await rig.svcs[0]->get_time(kThread);
+    // Plain (unstamped) inter-group message.
+    gcs::Message m;
+    m.hdr.type = gcs::MsgType::kUserRequest;
+    m.hdr.src_grp = kGroupA;
+    m.hdr.dst_grp = kGroupB;
+    m.hdr.conn = kInterConn;
+    m.hdr.tag = kThread;
+    m.hdr.seq = 1;
+    rig.eps[0]->send(std::move(m));
+  };
+  rig.eps[2]->subscribe(kGroupB, [&](const gcs::Message& m) {
+    if (m.hdr.conn != kInterConn) return;
+    read_clock_into(*rig.svcs[2], b_read);
+  });
+  // A mirror on the second A replica keeps the A group in agreement.
+  auto mirror = [&]() -> sim::Task { (void)co_await rig.svcs[1]->get_time(kThread); };
+  mirror();
+  flow();
+  rig.sim.run_for(10'000'000);
+  ASSERT_NE(a_ts, 0);
+  ASSERT_NE(b_read, 0);
+  EXPECT_LT(b_read, a_ts);  // causality violated: effect timestamped before cause
+}
+
+TEST(MultigroupTest, StampedMessagesPreserveCausality) {
+  TwoGroupRig rig(300'000);
+
+  Micros a_ts = 0;
+  std::vector<Micros> b_reads;
+  // Both B replicas read their group clock upon delivery.
+  for (std::uint32_t i : {2u, 3u}) {
+    rig.messengers[i]->subscribe(kInterConn, [&, i](const gcs::Message&, Micros, const Bytes&) {
+      read_clock_push(*rig.svcs[i], b_reads);
+    });
+  }
+  // Both A replicas perform the same logical stamped send.
+  for (std::uint32_t i : {0u, 1u}) {
+    rig.messengers[i]->stamp_and_send(kGroupB, kInterConn, 1, Bytes{42},
+                                      [&](Micros ts) { a_ts = ts; });
+  }
+  rig.sim.run_for(10'000'000);
+  ASSERT_NE(a_ts, 0);
+  ASSERT_EQ(b_reads.size(), 2u);
+  // Causality: every B reading after delivery exceeds the A timestamp.
+  EXPECT_GT(b_reads[0], a_ts);
+  // Agreement within B is preserved despite the floor raise.
+  EXPECT_EQ(b_reads[0], b_reads[1]);
+}
+
+TEST(MultigroupTest, FloorDoesNotDisturbUnrelatedMonotonicity) {
+  TwoGroupRig rig(300'000);
+  std::vector<Micros> reads;
+  auto worker = [&](std::uint32_t i, bool record) -> sim::Task {
+    for (int k = 0; k < 20; ++k) {
+      co_await rig.sim.delay(200);
+      const Micros v = co_await rig.svcs[i]->get_time(kThread);
+      if (record) reads.push_back(v);
+    }
+  };
+  worker(2, true);
+  worker(3, false);
+  // Mid-stream, raise the floor far ahead via a stamped message from A.
+  rig.sim.after(2'000, [&] {
+    for (std::uint32_t i : {2u, 3u}) rig.messengers[i]->subscribe(kInterConn, {});
+    for (std::uint32_t i : {0u, 1u}) {
+      rig.messengers[i]->stamp_and_send(kGroupB, kInterConn, 1, Bytes{1});
+    }
+  });
+  rig.sim.run_for(30'000'000);
+  ASSERT_EQ(reads.size(), 20u);
+  for (std::size_t i = 1; i < reads.size(); ++i) {
+    EXPECT_GT(reads[i], reads[i - 1]);
+  }
+}
+
+TEST(MultigroupTest, BackAndForthConversationStaysCausal) {
+  // A -> B -> A: each hop stamps with its group clock; timestamps must be
+  // strictly increasing along the causal chain.
+  TwoGroupRig rig(300'000);
+  std::vector<Micros> chain;
+
+  for (std::uint32_t i : {2u, 3u}) {
+    rig.messengers[i]->subscribe(kInterConn, [&, i](const gcs::Message&, Micros, const Bytes&) {
+      // B replies, stamped with B's group clock (raised past A's timestamp
+      // by the causal floor).
+      rig.messengers[i]->stamp_and_send(kGroupA, ConnectionId{201}, 1, Bytes{2});
+    });
+  }
+  for (std::uint32_t i : {0u, 1u}) {
+    rig.messengers[i]->subscribe(ConnectionId{201}, [&, i](const gcs::Message&, Micros ts,
+                                                           const Bytes&) {
+      if (i == 0) chain.push_back(ts);  // B's reply timestamp
+    });
+    rig.messengers[i]->stamp_and_send(kGroupB, kInterConn, 1, Bytes{1}, [&, i](Micros ts) {
+      if (i == 0) chain.push_back(ts);  // A's send timestamp (fires first)
+    });
+  }
+  rig.sim.run_for(30'000'000);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_GT(chain[1], chain[0]);  // B's reply is causally after A's send
+}
+
+}  // namespace
+}  // namespace cts::ccs

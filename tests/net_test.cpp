@@ -1,0 +1,236 @@
+// Unit tests for the simulated LAN: delivery, latency model, loss,
+// crashes, partitions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::net {
+namespace {
+
+struct Rig {
+  sim::Simulator sim{1};
+  NetworkConfig cfg;
+  Network net;
+  std::map<std::uint32_t, std::vector<std::pair<NodeId, Bytes>>> inbox;
+
+  explicit Rig(NetworkConfig c = {}) : cfg(c), net(sim, cfg) {}
+
+  void attach(std::uint32_t id) {
+    net.attach(NodeId{id}, [this, id](NodeId src, const Bytes& b) {
+      inbox[id].emplace_back(src, b);
+    });
+  }
+};
+
+Bytes payload(std::uint8_t tag, std::size_t size = 1) { return Bytes(size, tag); }
+
+TEST(NetworkTest, UnicastDeliversToDestinationOnly) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.attach(2);
+  rig.net.send(NodeId{0}, NodeId{1}, payload(7));
+  rig.sim.run();
+  ASSERT_EQ(rig.inbox[1].size(), 1u);
+  EXPECT_EQ(rig.inbox[1][0].first, NodeId{0});
+  EXPECT_EQ(rig.inbox[1][0].second, payload(7));
+  EXPECT_TRUE(rig.inbox[0].empty());
+  EXPECT_TRUE(rig.inbox[2].empty());
+}
+
+TEST(NetworkTest, BroadcastReachesEveryoneButSender) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 4; ++i) rig.attach(i);
+  rig.net.broadcast(NodeId{2}, payload(9));
+  rig.sim.run();
+  EXPECT_TRUE(rig.inbox[2].empty());
+  for (std::uint32_t i : {0u, 1u, 3u}) {
+    ASSERT_EQ(rig.inbox[i].size(), 1u) << "node " << i;
+    EXPECT_EQ(rig.inbox[i][0].first, NodeId{2});
+  }
+}
+
+TEST(NetworkTest, LatencyIsAtLeastBasePlusSerialization) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  Micros delivered_at = -1;
+  rig.net.attach(NodeId{1}, [&](NodeId, const Bytes&) { delivered_at = rig.sim.now(); });
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1, 1250));  // 1250B at 12.5B/us = 100us
+  rig.sim.run();
+  ASSERT_GE(delivered_at, 0);
+  EXPECT_GE(delivered_at, rig.cfg.base_latency_us + 100);
+  EXPECT_LE(delivered_at, rig.cfg.base_latency_us + 100 + 50);  // jitter bound (loose)
+}
+
+TEST(NetworkTest, LossDropsApproximatelyTheConfiguredFraction) {
+  NetworkConfig cfg;
+  cfg.loss_probability = 0.3;
+  Rig rig(cfg);
+  rig.attach(0);
+  rig.attach(1);
+  for (int i = 0; i < 2000; ++i) rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+  rig.sim.run();
+  const double rate = static_cast<double>(rig.inbox[1].size()) / 2000.0;
+  EXPECT_NEAR(rate, 0.7, 0.05);
+  EXPECT_EQ(rig.net.stats().packets_dropped + rig.net.stats().packets_delivered, 2000u);
+}
+
+TEST(NetworkTest, DownNodeReceivesNothing) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.net.set_down(NodeId{1}, true);
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+  rig.net.broadcast(NodeId{0}, payload(2));
+  rig.sim.run();
+  EXPECT_TRUE(rig.inbox[1].empty());
+}
+
+TEST(NetworkTest, NodeBackUpReceivesAgain) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.net.set_down(NodeId{1}, true);
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+  rig.sim.run();
+  rig.net.set_down(NodeId{1}, false);
+  rig.net.send(NodeId{0}, NodeId{1}, payload(2));
+  rig.sim.run();
+  ASSERT_EQ(rig.inbox[1].size(), 1u);
+  EXPECT_EQ(rig.inbox[1][0].second, payload(2));
+}
+
+TEST(NetworkTest, CrashWhilePacketInFlightDropsIt) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+  // Crash before the propagation delay elapses.
+  rig.sim.after(1, [&] { rig.net.set_down(NodeId{1}, true); });
+  rig.sim.run();
+  EXPECT_TRUE(rig.inbox[1].empty());
+  EXPECT_EQ(rig.net.stats().packets_dropped, 1u);
+}
+
+TEST(NetworkTest, PartitionBlocksCrossComponentTraffic) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 4; ++i) rig.attach(i);
+  rig.net.partition({{NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}}});
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1));  // same component
+  rig.net.send(NodeId{0}, NodeId{2}, payload(2));  // cross component
+  rig.net.broadcast(NodeId{3}, payload(3));
+  rig.sim.run();
+  EXPECT_EQ(rig.inbox[1].size(), 1u);
+  // Broadcast from 3 reaches only 2; the cross-component unicast is dropped.
+  ASSERT_EQ(rig.inbox[2].size(), 1u);
+  EXPECT_EQ(rig.inbox[2][0].second, payload(3));
+  EXPECT_TRUE(rig.inbox[0].empty());
+  EXPECT_TRUE(rig.inbox[3].empty());
+}
+
+TEST(NetworkTest, HealRestoresFullConnectivity) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.net.partition({{NodeId{0}}, {NodeId{1}}});
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+  rig.sim.run();
+  EXPECT_TRUE(rig.inbox[1].empty());
+  rig.net.heal();
+  EXPECT_FALSE(rig.net.partitioned());
+  rig.net.send(NodeId{0}, NodeId{1}, payload(2));
+  rig.sim.run();
+  ASSERT_EQ(rig.inbox[1].size(), 1u);
+}
+
+TEST(NetworkTest, StatsCountBytes) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1, 100));
+  rig.net.broadcast(NodeId{0}, payload(2, 50));
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().bytes_sent, 150u);
+  EXPECT_EQ(rig.net.stats().packets_sent, 2u);
+}
+
+TEST(NetworkTest, DetachedNodeCountsAsDrop) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.net.detach(NodeId{1});
+  rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+  rig.sim.run();
+  EXPECT_EQ(rig.net.stats().packets_dropped, 1u);
+}
+
+TEST(NetworkTest, NicSerializesBackToBackPackets) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  std::vector<Micros> arrivals;
+  rig.net.attach(NodeId{1}, [&](NodeId, const Bytes&) { arrivals.push_back(rig.sim.now()); });
+  // Ten 1250-byte packets sent at the same instant: the NIC transmits them
+  // one after another at 12.5 B/us = 100us each.
+  for (int i = 0; i < 10; ++i) rig.net.send(NodeId{0}, NodeId{1}, payload(1, 1250));
+  rig.sim.run();
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    // Consecutive arrivals at least ~serialization time apart (jitter may
+    // wobble the exact spacing slightly).
+    EXPECT_GE(arrivals[i] - arrivals[i - 1], 80);
+  }
+  // Total spread covers the full transmission burst.
+  EXPECT_GE(arrivals.back() - arrivals.front(), 9 * 80);
+}
+
+TEST(NetworkTest, DifferentSendersDoNotShareTheTxQueue) {
+  Rig rig;
+  rig.attach(0);
+  rig.attach(1);
+  rig.attach(2);
+  std::vector<Micros> arrivals;
+  rig.net.attach(NodeId{2}, [&](NodeId, const Bytes&) { arrivals.push_back(rig.sim.now()); });
+  rig.net.send(NodeId{0}, NodeId{2}, payload(1, 1250));
+  rig.net.send(NodeId{1}, NodeId{2}, payload(2, 1250));
+  rig.sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Independent NICs transmit concurrently: both arrive ~together.
+  EXPECT_LE(arrivals[1] - arrivals[0], 40);
+}
+
+TEST(NetworkTest, BroadcastUsesOneTransmissionSlot) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 4; ++i) rig.attach(i);
+  std::vector<Micros> arrivals;
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    rig.net.attach(NodeId{i}, [&](NodeId, const Bytes&) { arrivals.push_back(rig.sim.now()); });
+  }
+  rig.net.broadcast(NodeId{0}, payload(1, 1250));
+  rig.sim.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // All receivers hear the same transmission within jitter of each other.
+  EXPECT_LE(arrivals.back() - arrivals.front(), 40);
+}
+
+TEST(NetworkTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    Rig rig;
+    rig.attach(0);
+    rig.attach(1);
+    std::vector<Micros> times;
+    rig.net.attach(NodeId{1}, [&](NodeId, const Bytes&) { times.push_back(rig.sim.now()); });
+    for (int i = 0; i < 50; ++i) rig.net.send(NodeId{0}, NodeId{1}, payload(1));
+    rig.sim.run();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace cts::net

@@ -1,0 +1,163 @@
+// Tests for the replicated session manager: deterministic ids, TTL
+// renewal, deterministic reaping, and consistency across faults.
+#include <gtest/gtest.h>
+
+#include "app/session_manager.hpp"
+#include "app/testbed.hpp"
+
+namespace cts::app {
+namespace {
+
+struct SessionBed {
+  Testbed tb;
+
+  explicit SessionBed(std::uint64_t seed = 1,
+                      replication::ReplicationStyle style = replication::ReplicationStyle::kActive)
+      : tb(make_cfg(seed, style)) {
+    tb.start();
+  }
+
+  static TestbedConfig make_cfg(std::uint64_t seed, replication::ReplicationStyle style) {
+    TestbedConfig cfg;
+    cfg.seed = seed;
+    cfg.style = style;
+    cfg.factory = session_manager_factory();
+    return cfg;
+  }
+
+  SessionReply call(Bytes request, Micros budget = 30'000'000) {
+    SessionReply out;
+    bool done = false;
+    tb.client().invoke(std::move(request), [&](const Bytes& r) {
+      out = SessionReply::parse(r);
+      done = true;
+    });
+    const Micros deadline = tb.sim().now() + budget;
+    while (!done && tb.sim().now() < deadline) tb.sim().run_until(tb.sim().now() + 10'000);
+    EXPECT_TRUE(done) << "request timed out";
+    return out;
+  }
+
+  SessionManagerApp& app(std::uint32_t s) {
+    return static_cast<SessionManagerApp&>(tb.server(s).app());
+  }
+
+  void expect_identical() {
+    tb.sim().run_for(2'000'000);
+    for (std::uint32_t s = 1; s < 3; ++s) {
+      if (!tb.clock_of(tb.server_node(s)).alive()) continue;
+      EXPECT_EQ(app(s).state_digest(), app(0).state_digest()) << "replica " << s;
+    }
+  }
+};
+
+TEST(SessionManagerTest, OpenReturnsIdAndExpiry) {
+  SessionBed sb;
+  const SessionReply r = sb.call(session_open(50'000));
+  EXPECT_EQ(r.status, SessionStatus::kOk);
+  EXPECT_NE(r.session_id, 0u);
+  EXPECT_GT(r.stamp, 0);
+  sb.expect_identical();
+}
+
+TEST(SessionManagerTest, QueryFindsOpenSession) {
+  SessionBed sb;
+  const auto open = sb.call(session_open(1'000'000));
+  const auto q = sb.call(session_query(open.session_id));
+  EXPECT_EQ(q.status, SessionStatus::kOk);
+  EXPECT_EQ(q.session_id, open.session_id);
+}
+
+TEST(SessionManagerTest, CloseTerminates) {
+  SessionBed sb;
+  const auto open = sb.call(session_open(1'000'000));
+  EXPECT_EQ(sb.call(session_close(open.session_id)).status, SessionStatus::kOk);
+  EXPECT_EQ(sb.call(session_query(open.session_id)).status, SessionStatus::kUnknownSession);
+  EXPECT_EQ(sb.call(session_close(open.session_id)).status, SessionStatus::kUnknownSession);
+}
+
+TEST(SessionManagerTest, IdleSessionIsReapedAtTheSameGroupTimeEverywhere) {
+  SessionBed sb;
+  const auto open = sb.call(session_open(20'000));
+  sb.tb.sim().run_for(200'000);
+  EXPECT_EQ(sb.call(session_query(open.session_id)).status, SessionStatus::kUnknownSession);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(sb.app(s).sessions_reaped(), 1u) << "replica " << s;
+  }
+  sb.expect_identical();
+}
+
+TEST(SessionManagerTest, TouchExtendsTheDeadline) {
+  SessionBed sb;
+  const auto open = sb.call(session_open(30'000));
+  // Keep touching within the ttl; the session must survive well past the
+  // original deadline.
+  for (int i = 0; i < 5; ++i) {
+    sb.tb.sim().run_for(15'000);
+    EXPECT_EQ(sb.call(session_touch(open.session_id)).status, SessionStatus::kOk) << i;
+  }
+  EXPECT_EQ(sb.call(session_query(open.session_id)).status, SessionStatus::kOk);
+  // Then stop touching: it reaps.
+  sb.tb.sim().run_for(200'000);
+  EXPECT_EQ(sb.call(session_query(open.session_id)).status, SessionStatus::kUnknownSession);
+  sb.expect_identical();
+}
+
+TEST(SessionManagerTest, SessionIdsAreUniqueAndDeterministic) {
+  SessionBed sb;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = sb.call(session_open(10'000'000));
+    EXPECT_TRUE(ids.insert(r.session_id).second) << "duplicate session id";
+  }
+  sb.expect_identical();  // digests include the ids: identical => same ids
+}
+
+TEST(SessionManagerTest, CountTracksLiveSessions) {
+  SessionBed sb;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(sb.call(session_open(10'000'000)).session_id);
+  EXPECT_EQ(sb.call(session_count()).live_count, 4u);
+  sb.call(session_close(ids[0]));
+  sb.call(session_close(ids[1]));
+  EXPECT_EQ(sb.call(session_count()).live_count, 2u);
+}
+
+TEST(SessionManagerTest, SurvivesRecoveryWithLiveSessions) {
+  SessionBed sb;
+  const auto keep = sb.call(session_open(60'000'000));
+  const auto doomed = sb.call(session_open(25'000));
+  sb.tb.crash_server(2);
+  sb.tb.sim().run_for(100'000);  // doomed expires while replica 3 is down
+  bool recovered = false;
+  sb.tb.restart_server(2, [&] { recovered = true; });
+  const Micros deadline = sb.tb.sim().now() + 300'000'000;
+  while (!recovered && sb.tb.sim().now() < deadline) {
+    sb.tb.sim().run_until(sb.tb.sim().now() + 10'000);
+  }
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(sb.call(session_query(keep.session_id)).status, SessionStatus::kOk);
+  EXPECT_EQ(sb.call(session_query(doomed.session_id)).status, SessionStatus::kUnknownSession);
+  sb.expect_identical();
+}
+
+TEST(SessionManagerTest, FailoverKeepsSessionDecisionsConsistent) {
+  SessionBed sb(3, replication::ReplicationStyle::kSemiActive);
+  const auto open = sb.call(session_open(60'000'000));
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    if (sb.tb.server(s).is_primary()) sb.tb.crash_server(s);
+  }
+  sb.tb.sim().run_for(2'000'000);
+  EXPECT_EQ(sb.call(session_query(open.session_id)).status, SessionStatus::kOk);
+  EXPECT_EQ(sb.call(session_touch(open.session_id)).status, SessionStatus::kOk);
+}
+
+TEST(SessionManagerTest, BadRequestsRejected) {
+  SessionBed sb;
+  EXPECT_EQ(sb.call(session_open(0)).status, SessionStatus::kBadRequest);
+  EXPECT_EQ(sb.call(Bytes{77}).status, SessionStatus::kBadRequest);
+  sb.expect_identical();
+}
+
+}  // namespace
+}  // namespace cts::app

@@ -1,0 +1,223 @@
+// Unit tests for the discrete-event simulator: ordering, cancellation,
+// coroutine delays and signals.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cts::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(5, [&, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  Micros fired_at = -1;
+  sim.at(100, [&] { sim.after(50, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.after(10, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelAfterFireIsANoop) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.after(10, [&] { fired = true; });
+  sim.run();
+  sim.cancel(id);  // must not crash or corrupt
+  EXPECT_TRUE(fired);
+  sim.after(5, [] {});
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  std::vector<Micros> fired;
+  sim.at(10, [&] { fired.push_back(10); });
+  sim.at(20, [&] { fired.push_back(20); });
+  sim.at(30, [&] { fired.push_back(30); });
+  sim.run_until(25);
+  EXPECT_EQ(fired, (std::vector<Micros>{10, 20}));
+  EXPECT_EQ(sim.now(), 25);
+  sim.run();
+  EXPECT_EQ(fired.back(), 30);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(25, [&] { fired = true; });
+  sim.run_until(25);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunForAdvancesRelative) {
+  Simulator sim;
+  sim.run_until(100);
+  bool fired = false;
+  sim.after(10, [&] { fired = true; });
+  sim.run_for(10);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 110);
+}
+
+TEST(SimulatorTest, RunRespectsMaxEvents) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.at(i, [&] { ++count; });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.after(1, chain);
+  };
+  sim.after(1, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, RngIsDeterministicPerSeed) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+// --- Coroutines ---------------------------------------------------------------
+
+Task delay_then_mark(Simulator& sim, Micros d, bool& done, Micros& at) {
+  co_await sim.delay(d);
+  done = true;
+  at = sim.now();
+}
+
+TEST(SimulatorCoroTest, DelayResumesAtTheRightTime) {
+  Simulator sim;
+  bool done = false;
+  Micros at = -1;
+  delay_then_mark(sim, 42, done, at);
+  EXPECT_FALSE(done);  // coroutine suspended at the delay
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(at, 42);
+}
+
+Task sequential_delays(Simulator& sim, std::vector<Micros>& trace) {
+  co_await sim.delay(10);
+  trace.push_back(sim.now());
+  co_await sim.delay(20);
+  trace.push_back(sim.now());
+  co_await sim.delay(30);
+  trace.push_back(sim.now());
+}
+
+TEST(SimulatorCoroTest, SequentialDelaysAccumulate) {
+  Simulator sim;
+  std::vector<Micros> trace;
+  sequential_delays(sim, trace);
+  sim.run();
+  EXPECT_EQ(trace, (std::vector<Micros>{10, 30, 60}));
+}
+
+Task wait_on(Signal& sig, int& wakeups, Simulator& sim, Micros& when) {
+  co_await sig.wait();
+  ++wakeups;
+  when = sim.now();
+}
+
+TEST(SimulatorCoroTest, SignalNotifyOneWakesExactlyOne) {
+  Simulator sim;
+  Signal sig(sim);
+  int wakeups = 0;
+  Micros when = -1;
+  wait_on(sig, wakeups, sim, when);
+  wait_on(sig, wakeups, sim, when);
+  sim.run();
+  EXPECT_EQ(wakeups, 0);
+  EXPECT_EQ(sig.waiter_count(), 2u);
+
+  sim.after(5, [&] { sig.notify_one(); });
+  sim.run();
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_EQ(when, 5);
+  EXPECT_EQ(sig.waiter_count(), 1u);
+}
+
+TEST(SimulatorCoroTest, SignalNotifyAllWakesEveryone) {
+  Simulator sim;
+  Signal sig(sim);
+  int wakeups = 0;
+  Micros when = -1;
+  for (int i = 0; i < 5; ++i) wait_on(sig, wakeups, sim, when);
+  sim.run();
+  sim.after(7, [&] { sig.notify_all(); });
+  sim.run();
+  EXPECT_EQ(wakeups, 5);
+  EXPECT_EQ(sig.waiter_count(), 0u);
+}
+
+TEST(SimulatorCoroTest, NotifyWithNoWaitersIsANoop) {
+  Simulator sim;
+  Signal sig(sim);
+  sig.notify_one();
+  sig.notify_all();
+  sim.run();
+  EXPECT_EQ(sig.waiter_count(), 0u);
+}
+
+Task ping_pong(Simulator& /*sim*/, Signal& my_turn, Signal& their_turn,
+               std::vector<int>& trace, int label, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    co_await my_turn.wait();
+    trace.push_back(label);
+    their_turn.notify_one();
+  }
+}
+
+TEST(SimulatorCoroTest, TwoCoroutinesAlternateViaSignals) {
+  Simulator sim;
+  Signal a(sim), b(sim);
+  std::vector<int> trace;
+  ping_pong(sim, a, b, trace, 1, 3);
+  ping_pong(sim, b, a, trace, 2, 3);
+  sim.after(0, [&] { a.notify_one(); });
+  sim.run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 1, 2, 1, 2}));
+}
+
+}  // namespace
+}  // namespace cts::sim

@@ -1,0 +1,306 @@
+// ctsim — scenario driver for the consistent time service stack.
+//
+// Runs the full simulated testbed (client + replicated time server) under a
+// user-specified topology, replication style, workload, network conditions,
+// and fault schedule, then reports latency, CCS traffic, drift, and
+// consistency checks.  Everything the library can do, from one command
+// line — the fastest way for a new user to poke at the system.
+//
+// Examples:
+//   ctsim --servers 5 --invocations 2000
+//   ctsim --style passive --checkpoint-every 10 --crash 0@200ms --invocations 500
+//   ctsim --servers 3 --loss 0.02 --crash 2@100ms --recover 2@400ms --seed 9
+//   ctsim --style semiactive --drift mean --mean-delay 45 --invocations 10000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "app/kv_store.hpp"
+#include "app/testbed.hpp"
+#include "common/histogram.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover } kind;
+  std::uint32_t replica;
+  Micros at_us;
+};
+
+struct Options {
+  std::size_t servers = 3;
+  replication::ReplicationStyle style = replication::ReplicationStyle::kActive;
+  int invocations = 1000;
+  Micros think_us = 500;
+  std::uint64_t seed = 1;
+  double loss = 0.0;
+  Micros max_clock_offset_us = 500'000;
+  double max_drift_ppm = 50.0;
+  std::uint32_t checkpoint_every = 5;
+  ccs::DriftCompensation drift = ccs::DriftCompensation::kNone;
+  Micros mean_delay_us = 40;
+  double reference_gain = 0.1;
+  std::vector<FaultEvent> faults;
+  bool verbose = false;
+  std::uint32_t shards = 1;
+  bool durable = false;  // stable storage + cold-startable
+  bool kv = false;       // run the KV workload instead of the time server
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --servers N             server replicas (default 3)\n"
+      "  --style S               active | semiactive | passive (default active)\n"
+      "  --invocations N         client invocations (default 1000)\n"
+      "  --think US              client think time between invocations, us (default 500)\n"
+      "  --seed N                experiment seed (default 1)\n"
+      "  --loss P                packet loss probability (default 0)\n"
+      "  --clock-offset US       max initial hw clock offset, us (default 500000)\n"
+      "  --clock-drift PPM       max hw clock drift, ppm (default 50)\n"
+      "  --checkpoint-every N    passive checkpoint cadence, requests (default 5)\n"
+      "  --drift D               none | mean | reference (drift compensation)\n"
+      "  --mean-delay US         mean-delay compensation constant (default 40)\n"
+      "  --reference-gain G      reference-bias gain (default 0.1)\n"
+      "  --crash R@T             crash replica R at time T (e.g. 2@100ms, 0@1s)\n"
+      "  --recover R@T           recover replica R at time T\n"
+      "  --shards N              request-processing shards per replica (default 1)\n"
+      "  --durable               stable storage: persist checkpoints to local disk\n"
+      "  --kv                    drive the lease KV store instead of the time server\n"
+      "  --verbose               per-event narration\n",
+      argv0);
+  std::exit(2);
+}
+
+Micros parse_time(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  const std::string unit = end ? std::string(end) : "";
+  if (unit == "s") return static_cast<Micros>(v * 1e6);
+  if (unit == "ms") return static_cast<Micros>(v * 1e3);
+  return static_cast<Micros>(v);  // us
+}
+
+FaultEvent parse_fault(FaultEvent::Kind kind, const std::string& spec, const char* argv0) {
+  const auto at = spec.find('@');
+  if (at == std::string::npos) usage(argv0);
+  return FaultEvent{kind, static_cast<std::uint32_t>(std::stoul(spec.substr(0, at))),
+                    parse_time(spec.substr(at + 1))};
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> std::string {
+    if (++i >= argc) usage(argv[0]);
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--servers") o.servers = std::stoul(need(i));
+    else if (a == "--style") {
+      const auto v = need(i);
+      if (v == "active") o.style = replication::ReplicationStyle::kActive;
+      else if (v == "semiactive") o.style = replication::ReplicationStyle::kSemiActive;
+      else if (v == "passive") o.style = replication::ReplicationStyle::kPassive;
+      else usage(argv[0]);
+    } else if (a == "--invocations") o.invocations = std::stoi(need(i));
+    else if (a == "--think") o.think_us = parse_time(need(i));
+    else if (a == "--seed") o.seed = std::stoull(need(i));
+    else if (a == "--loss") o.loss = std::stod(need(i));
+    else if (a == "--clock-offset") o.max_clock_offset_us = parse_time(need(i));
+    else if (a == "--clock-drift") o.max_drift_ppm = std::stod(need(i));
+    else if (a == "--checkpoint-every") o.checkpoint_every = std::stoul(need(i));
+    else if (a == "--drift") {
+      const auto v = need(i);
+      if (v == "none") o.drift = ccs::DriftCompensation::kNone;
+      else if (v == "mean") o.drift = ccs::DriftCompensation::kMeanDelay;
+      else if (v == "reference") o.drift = ccs::DriftCompensation::kReferenceBias;
+      else usage(argv[0]);
+    } else if (a == "--mean-delay") o.mean_delay_us = parse_time(need(i));
+    else if (a == "--reference-gain") o.reference_gain = std::stod(need(i));
+    else if (a == "--crash") o.faults.push_back(parse_fault(FaultEvent::Kind::kCrash, need(i), argv[0]));
+    else if (a == "--recover") o.faults.push_back(parse_fault(FaultEvent::Kind::kRecover, need(i), argv[0]));
+    else if (a == "--shards") o.shards = std::stoul(need(i));
+    else if (a == "--durable") o.durable = true;
+    else if (a == "--kv") o.kv = true;
+    else if (a == "--verbose") o.verbose = true;
+    else usage(argv[0]);
+  }
+  return o;
+}
+
+sim::Task client_loop(Testbed& tb, const Options& o, std::vector<Micros>& stamps,
+                      Histogram& lat, bool& done) {
+  Rng rng(o.seed * 17 + 3);
+  for (int i = 0; i < o.invocations; ++i) {
+    co_await tb.sim().delay(o.think_us);
+    const Micros t0 = tb.sim().now();
+    if (o.kv) {
+      const std::string key = "k" + std::to_string(rng.below(32));
+      Bytes req;
+      switch (rng.below(3)) {
+        case 0: req = kv_put(key, "v" + std::to_string(i)); break;
+        case 1: req = kv_get(key); break;
+        default: req = kv_acquire(key, 1 + rng.below(4), 10'000); break;
+      }
+      (void)co_await tb.client().call(std::move(req));
+      lat.add(tb.sim().now() - t0);
+    } else {
+      const Bytes r = co_await tb.client().call(make_get_time_request());
+      lat.add(tb.sim().now() - t0);
+      BytesReader rd(r);
+      stamps.push_back(rd.i64() * 1'000'000 + rd.i64());
+    }
+  }
+  done = true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  TestbedConfig cfg;
+  cfg.servers = o.servers;
+  cfg.style = o.style;
+  cfg.seed = o.seed;
+  cfg.net.loss_probability = o.loss;
+  cfg.max_clock_offset_us = o.max_clock_offset_us;
+  cfg.max_drift_ppm = o.max_drift_ppm;
+  cfg.checkpoint_every = o.checkpoint_every;
+  cfg.drift = o.drift;
+  cfg.mean_delay_us = o.mean_delay_us;
+  cfg.reference_gain = o.reference_gain;
+  cfg.shards = o.shards;
+  if (o.shards > 1) cfg.shard_fn = kv_shard_of;
+  cfg.with_stable_storage = o.durable;
+  if (o.durable) cfg.persist_every = 10;
+  if (o.kv) cfg.factory = kv_store_factory();
+  Testbed tb(cfg);
+
+  clock::ReferenceTimeSource ref(tb.sim(), Rng(o.seed * 31 + 5), 200);
+  if (o.drift == ccs::DriftCompensation::kReferenceBias) {
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      tb.server(s).time_service().set_reference(&ref);
+    }
+  }
+  tb.start();
+
+  // Fault schedule.
+  for (const auto& f : o.faults) {
+    if (f.replica >= tb.server_count()) {
+      std::fprintf(stderr, "fault references replica %u but there are only %zu\n", f.replica,
+                   tb.server_count());
+      return 2;
+    }
+    tb.sim().at(std::max(tb.sim().now(), f.at_us), [&tb, f, &o] {
+      if (f.kind == FaultEvent::Kind::kCrash) {
+        if (o.verbose) std::printf("[%lld us] crash replica %u\n", (long long)f.at_us, f.replica);
+        tb.crash_server(f.replica);
+      } else {
+        if (o.verbose) std::printf("[%lld us] recover replica %u\n", (long long)f.at_us, f.replica);
+        tb.restart_server(f.replica);
+      }
+    });
+  }
+
+  std::vector<Micros> stamps;
+  Histogram lat(10, 10'000);
+  bool done = false;
+  client_loop(tb, o, stamps, lat, done);
+  const Micros deadline = 600'000'000'000LL;
+  while (!done && tb.sim().now() < deadline) tb.sim().run_until(tb.sim().now() + 1'000'000);
+  tb.sim().run_for(2'000'000);
+
+  // --- Report ----------------------------------------------------------------
+  std::printf("# ctsim  servers=%zu style=%s invocations=%d seed=%llu loss=%.3f\n\n",
+              o.servers,
+              o.style == replication::ReplicationStyle::kActive        ? "active"
+              : o.style == replication::ReplicationStyle::kSemiActive ? "semiactive"
+                                                                       : "passive",
+              o.invocations, (unsigned long long)o.seed, o.loss);
+
+  std::printf("end-to-end latency: mean=%.1f us  p50=%lld  p99=%lld  max=%lld\n", lat.mean(),
+              (long long)lat.percentile(0.5), (long long)lat.percentile(0.99),
+              (long long)lat.max());
+
+  std::size_t violations = 0;
+  for (std::size_t i = 1; i < stamps.size(); ++i) violations += (stamps[i] <= stamps[i - 1]);
+  if (!o.kv) {
+    std::printf("replies: %zu of %d;  monotonicity violations: %zu\n", stamps.size(),
+                o.invocations, violations);
+  }
+
+  std::uint64_t ccs_wire = 0, rounds = 0;
+  for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+    ccs_wire += tb.gcs_of(tb.server_node(s)).stats().on_wire(gcs::MsgType::kCcs);
+    rounds = std::max(rounds, tb.server(s).time_service().stats().rounds_completed);
+  }
+  std::printf("CCS rounds: %llu;  CCS messages on the wire: %llu (%.3f per round)\n",
+              (unsigned long long)rounds, (unsigned long long)ccs_wire,
+              rounds ? (double)ccs_wire / (double)rounds : 0.0);
+
+  bool consistent = true;
+  if (o.kv) {
+    std::uint64_t digest = 0;
+    bool have = false;
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
+      if (o.style == replication::ReplicationStyle::kPassive && !tb.server(s).is_primary()) {
+        continue;
+      }
+      for (std::uint32_t sh = 0; sh < tb.server(s).shard_count(); ++sh) {
+        const auto d = static_cast<KvStoreApp&>(tb.server(s).app(sh)).state_digest();
+        if (!have && sh == 0) {
+          digest = d;
+          have = true;
+        }
+      }
+    }
+    // Pairwise per-shard comparison across live servers.
+    for (std::uint32_t s = 1; s < tb.server_count(); ++s) {
+      if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
+      for (std::uint32_t sh = 0; sh < tb.server(s).shard_count(); ++sh) {
+        consistent &= static_cast<KvStoreApp&>(tb.server(s).app(sh)).state_digest() ==
+                      static_cast<KvStoreApp&>(tb.server(0).app(sh)).state_digest();
+      }
+    }
+    (void)digest;
+  } else {
+    const TimeServerApp* first = nullptr;
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
+      if (o.style == replication::ReplicationStyle::kPassive && !tb.server(s).is_primary()) {
+        continue;  // passive backups hold checkpointed state, not live history
+      }
+      auto& a = tb.server_app(s);
+      if (!first) first = &a;
+      else consistent &= (a.time_history() == first->time_history());
+    }
+  }
+  std::printf("replica state consistent: %s\n", consistent ? "yes" : "NO");
+
+  std::printf("\nper-replica detail:\n");
+  for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+    const auto& st = tb.server(s).stats();
+    const auto& ts = tb.server(s).time_service().stats();
+    std::printf(
+        "  r%u%-2s processed=%llu replayed=%llu ckpt=%llu/%llu rounds=%llu won=%llu "
+        "sends=%llu avoided=%llu offset=%lld\n",
+        s + 1,
+        !tb.clock_of(tb.server_node(s)).alive() ? "✗"
+        : tb.server(s).is_primary()             ? "*"
+                                                : "",
+        (unsigned long long)st.requests_processed, (unsigned long long)st.requests_replayed,
+        (unsigned long long)st.checkpoints_taken, (unsigned long long)st.checkpoints_applied,
+        (unsigned long long)ts.rounds_completed, (unsigned long long)ts.rounds_won,
+        (unsigned long long)ts.sends_initiated, (unsigned long long)ts.sends_avoided,
+        (long long)tb.server(s).time_service().clock_offset());
+  }
+  return violations == 0 && consistent ? 0 : 1;
+}
