@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multigroup"
+  "../bench/bench_multigroup.pdb"
+  "CMakeFiles/bench_multigroup.dir/bench_multigroup.cpp.o"
+  "CMakeFiles/bench_multigroup.dir/bench_multigroup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multigroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

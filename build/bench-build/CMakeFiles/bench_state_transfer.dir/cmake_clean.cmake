@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_state_transfer"
+  "../bench/bench_state_transfer.pdb"
+  "CMakeFiles/bench_state_transfer.dir/bench_state_transfer.cpp.o"
+  "CMakeFiles/bench_state_transfer.dir/bench_state_transfer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

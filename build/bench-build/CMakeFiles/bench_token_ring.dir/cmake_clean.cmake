@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_token_ring"
+  "../bench/bench_token_ring.pdb"
+  "CMakeFiles/bench_token_ring.dir/bench_token_ring.cpp.o"
+  "CMakeFiles/bench_token_ring.dir/bench_token_ring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_token_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

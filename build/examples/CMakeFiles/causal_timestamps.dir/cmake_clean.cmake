@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_timestamps.dir/causal_timestamps.cpp.o"
+  "CMakeFiles/causal_timestamps.dir/causal_timestamps.cpp.o.d"
+  "causal_timestamps"
+  "causal_timestamps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_timestamps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

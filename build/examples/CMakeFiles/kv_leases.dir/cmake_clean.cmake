@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_leases.dir/kv_leases.cpp.o"
+  "CMakeFiles/kv_leases.dir/kv_leases.cpp.o.d"
+  "kv_leases"
+  "kv_leases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_failover.dir/passive_failover.cpp.o"
+  "CMakeFiles/passive_failover.dir/passive_failover.cpp.o.d"
+  "passive_failover"
+  "passive_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

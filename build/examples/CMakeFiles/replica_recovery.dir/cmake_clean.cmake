@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_recovery.dir/replica_recovery.cpp.o"
+  "CMakeFiles/replica_recovery.dir/replica_recovery.cpp.o.d"
+  "replica_recovery"
+  "replica_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

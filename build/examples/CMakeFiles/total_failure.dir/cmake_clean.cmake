@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/total_failure.dir/total_failure.cpp.o"
+  "CMakeFiles/total_failure.dir/total_failure.cpp.o.d"
+  "total_failure"
+  "total_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/total_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_timeouts.dir/transaction_timeouts.cpp.o"
+  "CMakeFiles/transaction_timeouts.dir/transaction_timeouts.cpp.o.d"
+  "transaction_timeouts"
+  "transaction_timeouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_timeouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("clock")
+subdirs("net")
+subdirs("totem")
+subdirs("gcs")
+subdirs("replication")
+subdirs("orb")
+subdirs("cts")
+subdirs("baseline")
+subdirs("app")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_app.dir/kv_store.cpp.o"
+  "CMakeFiles/cts_app.dir/kv_store.cpp.o.d"
+  "CMakeFiles/cts_app.dir/session_manager.cpp.o"
+  "CMakeFiles/cts_app.dir/session_manager.cpp.o.d"
+  "CMakeFiles/cts_app.dir/time_server.cpp.o"
+  "CMakeFiles/cts_app.dir/time_server.cpp.o.d"
+  "libcts_app.a"
+  "libcts_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

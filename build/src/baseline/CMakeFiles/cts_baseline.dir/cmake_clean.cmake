@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_baseline.dir/baseline_clocks.cpp.o"
+  "CMakeFiles/cts_baseline.dir/baseline_clocks.cpp.o.d"
+  "libcts_baseline.a"
+  "libcts_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_clock.dir/physical_clock.cpp.o"
+  "CMakeFiles/cts_clock.dir/physical_clock.cpp.o.d"
+  "libcts_clock.a"
+  "libcts_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

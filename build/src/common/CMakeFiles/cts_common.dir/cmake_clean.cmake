@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_common.dir/histogram.cpp.o"
+  "CMakeFiles/cts_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/cts_common.dir/rng.cpp.o"
+  "CMakeFiles/cts_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cts_common.dir/types.cpp.o"
+  "CMakeFiles/cts_common.dir/types.cpp.o.d"
+  "libcts_common.a"
+  "libcts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

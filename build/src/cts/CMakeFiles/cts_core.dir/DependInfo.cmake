@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cts/consistent_time_service.cpp" "src/cts/CMakeFiles/cts_core.dir/consistent_time_service.cpp.o" "gcc" "src/cts/CMakeFiles/cts_core.dir/consistent_time_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/cts_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cts_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/totem/CMakeFiles/cts_totem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/cts_gcs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

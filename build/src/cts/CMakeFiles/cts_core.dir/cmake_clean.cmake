@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_core.dir/consistent_time_service.cpp.o"
+  "CMakeFiles/cts_core.dir/consistent_time_service.cpp.o.d"
+  "libcts_core.a"
+  "libcts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

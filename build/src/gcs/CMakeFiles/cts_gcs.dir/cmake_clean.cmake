@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_gcs.dir/gcs.cpp.o"
+  "CMakeFiles/cts_gcs.dir/gcs.cpp.o.d"
+  "libcts_gcs.a"
+  "libcts_gcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

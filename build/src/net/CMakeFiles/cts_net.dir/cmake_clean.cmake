@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_net.dir/network.cpp.o"
+  "CMakeFiles/cts_net.dir/network.cpp.o.d"
+  "libcts_net.a"
+  "libcts_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_orb.dir/rmi_client.cpp.o"
+  "CMakeFiles/cts_orb.dir/rmi_client.cpp.o.d"
+  "libcts_orb.a"
+  "libcts_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_replication.dir/replica_manager.cpp.o"
+  "CMakeFiles/cts_replication.dir/replica_manager.cpp.o.d"
+  "libcts_replication.a"
+  "libcts_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcts_replication.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cts_totem.dir/totem.cpp.o"
+  "CMakeFiles/cts_totem.dir/totem.cpp.o.d"
+  "libcts_totem.a"
+  "libcts_totem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cts_totem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

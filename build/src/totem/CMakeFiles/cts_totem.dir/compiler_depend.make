@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cts_totem.
+# This may be replaced when dependencies are built.

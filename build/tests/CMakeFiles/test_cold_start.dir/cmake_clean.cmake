@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cold_start.dir/cold_start_test.cpp.o"
+  "CMakeFiles/test_cold_start.dir/cold_start_test.cpp.o.d"
+  "test_cold_start"
+  "test_cold_start.pdb"
+  "test_cold_start[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cold_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decision_relay.dir/decision_relay_test.cpp.o"
+  "CMakeFiles/test_decision_relay.dir/decision_relay_test.cpp.o.d"
+  "test_decision_relay"
+  "test_decision_relay.pdb"
+  "test_decision_relay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decision_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gcs.dir/gcs_test.cpp.o"
+  "CMakeFiles/test_gcs.dir/gcs_test.cpp.o.d"
+  "test_gcs"
+  "test_gcs.pdb"
+  "test_gcs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

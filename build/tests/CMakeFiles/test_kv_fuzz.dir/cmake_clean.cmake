@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv_fuzz.dir/kv_fuzz_test.cpp.o"
+  "CMakeFiles/test_kv_fuzz.dir/kv_fuzz_test.cpp.o.d"
+  "test_kv_fuzz"
+  "test_kv_fuzz.pdb"
+  "test_kv_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

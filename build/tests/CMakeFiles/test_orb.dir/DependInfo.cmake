@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/orb_test.cpp" "tests/CMakeFiles/test_orb.dir/orb_test.cpp.o" "gcc" "tests/CMakeFiles/test_orb.dir/orb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/cts_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cts_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/totem/CMakeFiles/cts_totem.dir/DependInfo.cmake"
+  "/root/repo/build/src/gcs/CMakeFiles/cts_gcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cts/CMakeFiles/cts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/cts_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/cts_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/cts_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

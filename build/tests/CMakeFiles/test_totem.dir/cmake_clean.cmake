@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_totem.dir/totem_test.cpp.o"
+  "CMakeFiles/test_totem.dir/totem_test.cpp.o.d"
+  "test_totem"
+  "test_totem.pdb"
+  "test_totem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_totem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_clock[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_totem[1]_include.cmake")
+include("/root/repo/build/tests/test_gcs[1]_include.cmake")
+include("/root/repo/build/tests/test_cts[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_fault[1]_include.cmake")
+include("/root/repo/build/tests/test_multigroup[1]_include.cmake")
+include("/root/repo/build/tests/test_services[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_orb[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_store[1]_include.cmake")
+include("/root/repo/build/tests/test_sharded[1]_include.cmake")
+include("/root/repo/build/tests/test_cold_start[1]_include.cmake")
+include("/root/repo/build/tests/test_decision_relay[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_session_manager[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctsim.dir/ctsim.cpp.o"
+  "CMakeFiles/ctsim.dir/ctsim.cpp.o.d"
+  "ctsim"
+  "ctsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
