@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "app/testbed.hpp"
+#include "obs/recorder.hpp"
 #include "baseline/baseline_clocks.hpp"
 
 using namespace cts;
@@ -161,6 +162,8 @@ Micros cts_trial(std::uint64_t seed) {
     tb.sim().run_until(tb.sim().now() + 10'000);
   }
   if (!crashed || times.size() < 12) return 0;
+  static int obs_run = 0;
+  obs::export_from_env(tb.recorder(), "bench_ablation_failover.cts" + std::to_string(obs_run++));
   // Discontinuity across the failover boundary (readings 10 and 11).
   return (times[10] - times[9]) - (reals[10] - reals[9]);
 }

@@ -15,6 +15,7 @@
 
 #include "app/kv_store.hpp"
 #include "app/testbed.hpp"
+#include "obs/recorder.hpp"
 #include "common/histogram.hpp"
 
 using namespace cts;
@@ -74,6 +75,8 @@ Row run(Workload wl, replication::ReplicationStyle style) {
   for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
     rounds = std::max(rounds, tb.server(s).time_service().stats().rounds_completed);
   }
+  static int obs_run = 0;
+  obs::export_from_env(tb.recorder(), "bench_app_throughput.run" + std::to_string(obs_run++));
   return Row{lat.mean(), lat.percentile(0.99), rounds};
 }
 

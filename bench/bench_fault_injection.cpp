@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "app/testbed.hpp"
+#include "obs/recorder.hpp"
 #include "common/histogram.hpp"
 
 using namespace cts;
@@ -104,6 +105,8 @@ Row run(double loss, bool churn) {
   row.violations = violations;
   row.ccs_per_round = rounds ? (double)wire / (double)rounds : 0.0;
   row.consistent = consistent;
+  static int obs_run = 0;
+  obs::export_from_env(tb.recorder(), "bench_fault_injection.run" + std::to_string(obs_run++));
   return row;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "app/testbed.hpp"
+#include "obs/recorder.hpp"
 
 using namespace cts;
 using namespace cts::app;
@@ -133,5 +134,6 @@ int main() {
   for (int s = 0; s < 3; ++s) {
     std::printf("  replica %d: %llu wins\n", s + 1, (unsigned long long)wins[s]);
   }
+  obs::export_from_env(tb.recorder(), "bench_fig6_skew_drift");
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "app/testbed.hpp"
+#include "obs/recorder.hpp"
 #include "common/bytes.hpp"
 #include "common/histogram.hpp"
 #include "common/rng.hpp"
@@ -137,6 +138,7 @@ void BM_FullStackSimulationSpeed(benchmark::State& state) {
     while (!done) tb.sim().run(256);
     ++completed;
   }
+  obs::export_from_env(tb.recorder(), "bench_micro.fullstack");
   state.SetItemsProcessed(static_cast<std::int64_t>(completed));
 }
 BENCHMARK(BM_FullStackSimulationSpeed)->Unit(benchmark::kMicrosecond);

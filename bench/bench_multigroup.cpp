@@ -20,6 +20,7 @@
 #include "cts/multigroup.hpp"
 #include "gcs/gcs.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "totem/totem.hpp"
 
@@ -51,6 +52,8 @@ sim::Task log_event(ConsistentTimeService& svc, Micros event_ts, std::vector<Mic
 Result run(Micros gap_us, bool stamped, std::uint64_t seed) {
   sim::Simulator sim(seed);
   net::Network net(sim, {});
+  obs::Recorder rec(sim);
+  net.set_recorder(&rec);
   totem::TotemConfig tcfg;
   for (std::uint32_t i = 0; i < 4; ++i) tcfg.universe.push_back(NodeId{i});
 
@@ -72,6 +75,8 @@ Result run(Micros gap_us, bool stamped, std::uint64_t seed) {
     cfg.ccs_conn = sender ? kSenderCcs : kReceiverCcs;
     cfg.replica = ReplicaId{i % 2};
     svcs.push_back(std::make_unique<ConsistentTimeService>(sim, *eps.back(), *clocks.back(), cfg));
+    eps.back()->set_recorder(&rec);
+    svcs.back()->set_recorder(&rec);
     msgrs.push_back(std::make_unique<CausalMessenger>(*eps.back(), *svcs.back(), cfg.group,
                                                       kThread));
   }
@@ -140,6 +145,8 @@ Result run(Micros gap_us, bool stamped, std::uint64_t seed) {
     for (auto s : skews) acc += static_cast<double>(s);
     res.mean_skew = static_cast<Micros>(acc / static_cast<double>(skews.size()));
   }
+  static int obs_run = 0;
+  obs::export_from_env(rec, "bench_multigroup.run" + std::to_string(obs_run++));
   return res;
 }
 

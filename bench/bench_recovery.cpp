@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "app/testbed.hpp"
+#include "obs/recorder.hpp"
 
 using namespace cts;
 using namespace cts::app;
@@ -82,5 +83,6 @@ int main() {
   const bool equal12 = tb.server_app(1).time_history() == tb.server_app(2).time_history();
   std::printf("replica state identical after final recovery: %s\n",
               (equal01 && equal12) ? "yes" : "NO (bug)");
+  obs::export_from_env(tb.recorder(), "bench_recovery");
   return 0;
 }

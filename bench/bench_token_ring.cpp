@@ -12,6 +12,7 @@
 
 #include "common/histogram.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "totem/totem.hpp"
 
@@ -23,6 +24,8 @@ int main() {
 
   sim::Simulator sim(7);
   net::Network net(sim, {});
+  obs::Recorder rec(sim);
+  net.set_recorder(&rec);
   totem::TotemConfig tcfg;
   for (std::uint32_t i = 0; i < kNodes; ++i) tcfg.universe.push_back(NodeId{i});
 
@@ -34,6 +37,7 @@ int main() {
 
   for (std::uint32_t i = 0; i < kNodes; ++i) {
     nodes.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
+    nodes.back()->set_recorder(&rec);
     nodes.back()->set_token_observer([&, i] {
       const Micros now = sim.now();
       if (last_receipt != kNoTime) per_hop.add(now - last_receipt);
@@ -59,5 +63,6 @@ int main() {
   std::printf("full rotation (%zu hops): mean=%.1f us, mode=%lld us\n\n", kNodes,
               rotation.mean(), (long long)rotation.mode_bin());
   std::printf("%s\n", per_hop.table("per-hop token latency PDF").c_str());
+  obs::export_from_env(rec, "bench_token_ring");
   return 0;
 }

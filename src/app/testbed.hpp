@@ -23,6 +23,7 @@
 #include "cts/consistent_time_service.hpp"
 #include "gcs/gcs.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "orb/rmi_client.hpp"
 #include "replication/replica_manager.hpp"
 #include "sim/simulator.hpp"
@@ -127,6 +128,12 @@ class Testbed {
                                                  TestbedIds::kServerGroup,
                                                  TestbedIds::kRequestConn);
     }
+
+    // One shared recorder observes every layer of this testbed; endpoints
+    // wire their Totem node, managers wire their time service.
+    net_.set_recorder(&recorder_);
+    for (auto& ep : eps_) ep->set_recorder(&recorder_);
+    for (auto& m : managers_) m->set_recorder(&recorder_);
   }
 
   /// Boot every node and let the ring form and the group views settle.
@@ -140,6 +147,7 @@ class Testbed {
 
   sim::Simulator& sim() { return sim_; }
   net::Network& net() { return net_; }
+  obs::Recorder& recorder() { return recorder_; }
   orb::RmiClient& client() { return *client_; }
   [[nodiscard]] std::size_t server_count() const { return managers_.size(); }
 
@@ -187,6 +195,8 @@ class Testbed {
     managers_[s] = std::make_unique<replication::ReplicaManager>(sim_, *eps_[node],
                                                                  *clocks_[node], mcfg,
                                                                  cfg_.factory);
+    eps_[node]->set_recorder(&recorder_);
+    managers_[s]->set_recorder(&recorder_);
     managers_[s]->start_recovering(std::move(recovered));
   }
 
@@ -203,6 +213,8 @@ class Testbed {
     managers_[s] = std::make_unique<replication::ReplicaManager>(sim_, *eps_[node],
                                                                  *clocks_[node], mcfg,
                                                                  cfg_.factory);
+    eps_[node]->set_recorder(&recorder_);
+    managers_[s]->set_recorder(&recorder_);
     managers_[s]->start_cold();
   }
 
@@ -212,6 +224,7 @@ class Testbed {
   TestbedConfig cfg_;
   sim::Simulator sim_;
   net::Network net_;
+  obs::Recorder recorder_{sim_};
   std::vector<std::unique_ptr<totem::TotemNode>> totems_;
   std::vector<std::unique_ptr<gcs::GcsEndpoint>> eps_;
   std::vector<std::unique_ptr<clock::PhysicalClock>> clocks_;

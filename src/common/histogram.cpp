@@ -7,7 +7,10 @@ namespace cts {
 std::string Histogram::table(const std::string& label) const {
   std::ostringstream out;
   out << "# " << label << "  n=" << count() << "  mean=" << mean() << "us  p50=" << percentile(0.5)
-      << "us  p99=" << percentile(0.99) << "us  mode=" << mode_bin() << "us\n";
+      << "us  p99=" << percentile(0.99) << "us  mode=" << mode_bin() << "us";
+  if (underflow() > 0) out << "  underflow=" << underflow() << " (min=" << underflow_min() << "us)";
+  if (overflow() > 0) out << "  overflow=" << overflow();
+  out << "\n";
   out << "bin_us\tdensity\n";
   for (auto [bin, d] : density()) {
     out << bin << "\t" << d << "\n";

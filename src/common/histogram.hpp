@@ -22,15 +22,36 @@ class Histogram {
   Histogram(Micros bin_width, Micros max_value)
       : bin_width_(bin_width), bins_(static_cast<std::size_t>(max_value / bin_width) + 1, 0) {}
 
+  /// Negative samples indicate a causality bug upstream (a clock that ran
+  /// backwards, a receive stamped before its send); they are counted in a
+  /// dedicated underflow stat instead of being folded into bin 0 where they
+  /// would silently distort the density.
   void add(Micros sample) {
+    if (sample < 0) {
+      ++underflow_;
+      underflow_min_ = std::min(underflow_min_, sample);
+      return;
+    }
     samples_.push_back(sample);
     sorted_ = false;
-    auto idx = sample < 0 ? 0 : static_cast<std::size_t>(sample / bin_width_);
+    auto idx = static_cast<std::size_t>(sample / bin_width_);
     if (idx >= bins_.size()) idx = bins_.size() - 1;
     ++bins_[idx];
   }
 
+  /// Number of non-negative samples recorded (underflow excluded).
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  /// Number of negative samples rejected by add().
+  [[nodiscard]] std::uint64_t underflow() const { return underflow_; }
+
+  /// Most negative sample seen, or 0 if none underflowed.
+  [[nodiscard]] Micros underflow_min() const { return underflow_ ? underflow_min_ : 0; }
+
+  /// Samples at or beyond max_value (they share the final catch-all bin).
+  [[nodiscard]] std::uint64_t overflow() const { return bins_.back(); }
+
+  [[nodiscard]] Micros bin_width() const { return bin_width_; }
 
   [[nodiscard]] double mean() const {
     if (samples_.empty()) return 0.0;
@@ -52,8 +73,11 @@ class Histogram {
 
   /// Bin with the highest density (the distribution's mode) — the paper
   /// reports the token-passing time as "peak probability density ~51us".
+  /// The overflow catch-all is not a real bin and can never be the mode;
+  /// its mass is visible via overflow() instead.
   [[nodiscard]] Micros mode_bin() const {
-    auto it = std::max_element(bins_.begin(), bins_.end());
+    if (bins_.size() < 2) return 0;
+    auto it = std::max_element(bins_.begin(), bins_.end() - 1);
     return static_cast<Micros>(it - bins_.begin()) * bin_width_;
   }
 
@@ -82,6 +106,8 @@ class Histogram {
 
   Micros bin_width_;
   std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  Micros underflow_min_ = 0;
   mutable std::vector<Micros> samples_;
   mutable bool sorted_ = false;
 };

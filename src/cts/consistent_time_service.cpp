@@ -1,7 +1,6 @@
 #include "cts/consistent_time_service.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 #include "common/logging.hpp"
 
@@ -76,10 +75,23 @@ Micros ConsistentTimeService::propose_local_clock(Micros physical) {
   return local;
 }
 
-void ConsistentTimeService::start_round(ThreadId thread, ClockCallType call_type, DoneFn done) {
+bool ConsistentTimeService::start_round(ThreadId thread, ClockCallType call_type, DoneFn done) {
   register_thread(thread);  // idempotent; tolerates lazy registration
   CcsHandler& h = handlers_.at(thread);
-  assert(!h.waiting && "clock-related operations within a thread are sequential");
+  if (h.waiting) {
+    // Always-on guard (paper 3.1: clock-related operations within a thread
+    // are sequential).  Proceeding would silently clobber the in-flight
+    // round's DoneFn, stranding its caller forever.
+    ++stats_.reentrant_rejected;
+    if (c_reentrant_) ++*c_reentrant_;
+    if (rec_) {
+      rec_->event(obs::EventKind::kCcsReentrantCall, gcs_.node_id(), cfg_.replica, thread.value);
+    }
+    CTS_ERROR() << "replica " << to_string(cfg_.replica) << ": clock-related operation started on "
+                << to_string(thread) << " while round " << h.my_round_number
+                << " is still in flight; call rejected";
+    return false;
+  }
 
   // Figure 2, line 9: a new round begins.
   ++h.my_round_number;
@@ -90,6 +102,10 @@ void ConsistentTimeService::start_round(ThreadId thread, ClockCallType call_type
   h.call_type = call_type;
   h.sent_this_round = false;
   h.waiting = std::move(done);
+  if (rec_) {
+    rec_->event(obs::EventKind::kCcsRoundStart, gcs_.node_id(), cfg_.replica, thread.value,
+                static_cast<std::int64_t>(h.my_round_number));
+  }
 
   // Figure 2, lines 11-13: send only if nothing is buffered for this round.
   // Passive/semi-active backups never send (Section 3.3); if the primary
@@ -99,9 +115,15 @@ void ConsistentTimeService::start_round(ThreadId thread, ClockCallType call_type
     if (may_send && !recovering_) send_proposal(h, /*special=*/false);
   } else {
     ++stats_.sends_avoided;
+    if (c_avoided_) ++*c_avoided_;
+    if (rec_) {
+      rec_->event(obs::EventKind::kCcsSendAvoided, gcs_.node_id(), cfg_.replica, thread.value,
+                  static_cast<std::int64_t>(h.my_round_number));
+    }
   }
 
   try_complete(h);
+  return true;
 }
 
 void ConsistentTimeService::send_proposal(CcsHandler& h, bool special) {
@@ -123,6 +145,7 @@ void ConsistentTimeService::send_proposal(CcsHandler& h, bool special) {
   gcs_.send(std::move(m));
   h.sent_this_round = true;
   ++stats_.sends_initiated;
+  if (c_sends_) ++*c_sends_;
 }
 
 // --- Delivery path --------------------------------------------------------------------
@@ -180,6 +203,7 @@ void ConsistentTimeService::on_ccs_delivered(const gcs::Message& m) {
     CcsHandler& sh = handlers_[kSpecialThread];
     if (m.hdr.seq <= sh.last_seq_seen) {
       ++stats_.duplicates_dropped;
+      if (c_duplicates_) ++*c_duplicates_;
       return;
     }
     if (sh.waiting) {
@@ -223,6 +247,7 @@ void ConsistentTimeService::recv_into_handler(CcsHandler& h, BufferedMsg msg) {
   // Figure 3, lines 5 & 10: duplicate detection based on msg_seq_num.
   if (msg.seq <= h.last_seq_seen) {
     ++stats_.duplicates_dropped;
+    if (c_duplicates_) ++*c_duplicates_;
     return;
   }
   h.last_seq_seen = msg.seq;
@@ -264,8 +289,33 @@ void ConsistentTimeService::try_complete(CcsHandler& h) {
   }
 
   ++stats_.rounds_completed;
-  if (msg.sender_replica == cfg_.replica) ++stats_.rounds_won;
+  if (c_rounds_) ++*c_rounds_;
+  const bool won = msg.sender_replica == cfg_.replica;
+  if (won) {
+    ++stats_.rounds_won;
+    if (c_wins_) ++*c_wins_;
+  }
   if (msg.payload.special_round) ++stats_.special_rounds;
+  if (rec_) {
+    rec_->event(obs::EventKind::kCcsRoundComplete, gcs_.node_id(), cfg_.replica,
+                static_cast<std::int64_t>(h.my_round_number),
+                static_cast<std::int64_t>(msg.sender_replica.value), grp);
+    if (won) {
+      // One kSynchronizerWin per (thread, round) across the whole group:
+      // only the replica whose proposal was ordered first records it.
+      rec_->event(obs::EventKind::kSynchronizerWin, gcs_.node_id(), cfg_.replica,
+                  static_cast<std::int64_t>(h.my_round_number),
+                  static_cast<std::int64_t>(h.my_thread_id.value));
+    }
+    // Observed skew of the agreed group clock vs drift-free real time
+    // (epoch + simulated now).  Signed value in the event and gauge; the
+    // histogram takes the magnitude (Histogram rejects negatives).
+    const Micros skew = grp - (clock_.config().epoch_us + sim_.now());
+    rec_->event(obs::EventKind::kSkewSample, gcs_.node_id(), cfg_.replica, skew,
+                static_cast<std::int64_t>(h.my_round_number));
+    rec_->metrics().set_gauge("cts.last_skew_us", skew);
+    if (h_skew_) h_skew_->add(skew < 0 ? -skew : skew);
+  }
 
   if (observer_) {
     RoundResult rr;
@@ -300,15 +350,33 @@ void ConsistentTimeService::set_primary(bool primary) {
   for (auto& [t, h] : handlers_) {
     if (h.waiting && h.my_input_buffer.empty() && !h.sent_this_round) {
       send_proposal(h, t == kSpecialThread);
+      ++stats_.proposals_resent;
+      if (rec_) {
+        rec_->event(obs::EventKind::kProposalResent, gcs_.node_id(), cfg_.replica, t.value,
+                    static_cast<std::int64_t>(h.my_round_number));
+      }
     }
   }
 }
 
 // --- Recovery -------------------------------------------------------------------------
 
-void ConsistentTimeService::run_special_round(DoneFn done) {
+bool ConsistentTimeService::run_special_round(DoneFn done) {
   CcsHandler& h = handlers_.at(kSpecialThread);
-  assert(!h.waiting && "special rounds are serialized by the state-transfer protocol");
+  if (h.waiting) {
+    // Always-on guard: special rounds are serialized by the state-transfer
+    // protocol; a second one in flight means the caller broke that
+    // serialization and would clobber the pending DoneFn.
+    ++stats_.reentrant_rejected;
+    if (c_reentrant_) ++*c_reentrant_;
+    if (rec_) {
+      rec_->event(obs::EventKind::kCcsReentrantCall, gcs_.node_id(), cfg_.replica,
+                  kSpecialThread.value);
+    }
+    CTS_ERROR() << "replica " << to_string(cfg_.replica)
+                << ": special round started while one is still in flight; call rejected";
+    return false;
+  }
   ++h.my_round_number;
   h.pc_at_round = clock_.read();
   h.proposed_at_round = propose_local_clock(h.pc_at_round);
@@ -320,8 +388,10 @@ void ConsistentTimeService::run_special_round(DoneFn done) {
     if (may_send) send_proposal(h, /*special=*/true);
   } else {
     ++stats_.sends_avoided;
+    if (c_avoided_) ++*c_avoided_;
   }
   try_complete(h);
+  return true;
 }
 
 void ConsistentTimeService::begin_recovery(DoneFn initialized) {
@@ -365,4 +435,20 @@ void ConsistentTimeService::restore(const Bytes& state) {
   }
 }
 
-}  // namespace ccs
+void ConsistentTimeService::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  if (rec) {
+    c_rounds_ = &rec->counter("cts.rounds_completed");
+    c_wins_ = &rec->counter("cts.rounds_won");
+    c_sends_ = &rec->counter("cts.sends_initiated");
+    c_avoided_ = &rec->counter("cts.sends_avoided");
+    c_duplicates_ = &rec->counter("cts.duplicates_dropped");
+    c_reentrant_ = &rec->counter("cts.reentrant_rejected");
+    h_skew_ = &rec->metrics().histogram("cts.skew_abs_us", 100, 100'000);
+  } else {
+    c_rounds_ = c_wins_ = c_sends_ = c_avoided_ = c_duplicates_ = c_reentrant_ = nullptr;
+    h_skew_ = nullptr;
+  }
+}
+
+}  // namespace cts::ccs

@@ -44,6 +44,7 @@
 #include "common/types.hpp"
 #include "cts/ccs_message.hpp"
 #include "gcs/gcs.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace cts::ccs {
@@ -108,6 +109,8 @@ struct CtsStats {
   std::uint64_t sends_avoided = 0;     // buffer already held the round's msg
   std::uint64_t duplicates_dropped = 0;
   std::uint64_t special_rounds = 0;
+  std::uint64_t reentrant_rejected = 0;  // start_round while a round was in flight
+  std::uint64_t proposals_resent = 0;    // re-issued by a freshly promoted primary
 };
 
 class ConsistentTimeService {
@@ -135,7 +138,14 @@ class ConsistentTimeService {
   /// Start a round of the CCS algorithm for `thread` and invoke `done` with
   /// the consistent group clock value once the first matching CCS message
   /// is delivered.  This is the callback form of get_grp_clock_time().
-  void start_round(ThreadId thread, ClockCallType call_type, DoneFn done);
+  ///
+  /// Clock-related operations within a thread are strictly sequential
+  /// (paper Section 3.1).  If `thread` already has a round in flight the
+  /// call is rejected: it logs an error, leaves the in-flight round (and
+  /// its DoneFn) untouched, never invokes `done`, and returns false.  This
+  /// check is always on — it is a caller bug that a release build must not
+  /// turn into a silently clobbered callback.
+  bool start_round(ThreadId thread, ClockCallType call_type, DoneFn done);
 
   /// Awaitable form for simulated logical threads:
   ///   Micros now = co_await svc.get_time(thread);
@@ -147,10 +157,16 @@ class ConsistentTimeService {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      svc.start_round(thread, call_type, [this, h](Micros v) {
+      const bool started = svc.start_round(thread, call_type, [this, h](Micros v) {
         value = v;
         svc.sim_.after(0, [h] { h.resume(); });
       });
+      if (!started) {
+        // Rejected (a round is already in flight for this thread): resume
+        // with kNoTime rather than suspending forever.
+        value = kNoTime;
+        svc.sim_.after(0, [h] { h.resume(); });
+      }
     }
     Micros await_resume() const noexcept { return value; }
   };
@@ -172,8 +188,10 @@ class ConsistentTimeService {
 
   /// At an existing replica: run the special CCS round that is taken
   /// immediately before the state-transfer checkpoint.  `done` fires when
-  /// the round completes at this replica.
-  void run_special_round(DoneFn done);
+  /// the round completes at this replica.  Special rounds are serialized
+  /// by the state-transfer protocol; like start_round(), a call while one
+  /// is already in flight is rejected with a loud error and returns false.
+  bool run_special_round(DoneFn done);
 
   /// At a recovering replica: enter recovery mode.  The replica will not
   /// compete; the next special-round CCS message initializes its offset.
@@ -198,6 +216,9 @@ class ConsistentTimeService {
 
   /// Observer invoked at every completed round (benchmarks, tests).
   void set_round_observer(RoundObserver obs) { observer_ = std::move(obs); }
+
+  /// Attach (or detach, with nullptr) an observability recorder.
+  void set_recorder(obs::Recorder* rec);
 
   /// Attach the external reference time source used by the kReferenceBias
   /// drift-compensation strategy.
@@ -277,6 +298,16 @@ class ConsistentTimeService {
   clock::ReferenceTimeSource* reference_ = nullptr;
   RoundObserver observer_;
   CtsStats stats_;
+
+  obs::Recorder* rec_ = nullptr;
+  // Hot-path counters, resolved once in set_recorder().
+  obs::Counter* c_rounds_ = nullptr;
+  obs::Counter* c_wins_ = nullptr;
+  obs::Counter* c_sends_ = nullptr;
+  obs::Counter* c_avoided_ = nullptr;
+  obs::Counter* c_duplicates_ = nullptr;
+  obs::Counter* c_reentrant_ = nullptr;
+  Histogram* h_skew_ = nullptr;
 
   friend struct TimeAwaiter;
 };

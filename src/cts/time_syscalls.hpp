@@ -59,11 +59,17 @@ class TimeSyscalls {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      svc.start_round(thread, kType, [this, h](Micros v) {
+      const bool started = svc.start_round(thread, kType, [this, h](Micros v) {
         raw = v;
         // Resume through the event queue, matching Signal semantics.
         svc.simulator().after(0, [h] { h.resume(); });
       });
+      if (!started) {
+        // Rejected (round already in flight on this thread): resume with
+        // kNoTime rather than suspending forever.
+        raw = kNoTime;
+        svc.simulator().after(0, [h] { h.resume(); });
+      }
     }
     Result await_resume() const { return Convert(raw); }
   };

@@ -112,6 +112,11 @@ void GcsEndpoint::bump_view(GroupId g) {
   auto& v = views_[g];
   v.group = g;
   ++v.view_num;
+  if (c_view_changes_) ++*c_view_changes_;
+  if (rec_) {
+    rec_->event(obs::EventKind::kGcsViewChange, totem_.id(), ReplicaId{},
+                static_cast<std::int64_t>(g.value), static_cast<std::int64_t>(v.members.size()));
+  }
   for (auto& fn : view_subscribers_[g]) fn(v);
 }
 
@@ -291,7 +296,15 @@ void GcsEndpoint::process_message(Message m) {
       // Someone else's copy won the race; cancel ours if still queued.
       bool all = true;
       for (auto th : it->second.totem_handles) all &= totem_.cancel(th);
-      if (all) ++stats_.sent_cancelled[static_cast<std::size_t>(it->second.type)];
+      if (all) {
+        ++stats_.sent_cancelled[static_cast<std::size_t>(it->second.type)];
+        if (c_cancelled_) ++*c_cancelled_;
+        if (rec_) {
+          rec_->event(obs::EventKind::kGcsSendCancelled, totem_.id(), m.hdr.sender_replica,
+                      static_cast<std::int64_t>(it->second.type),
+                      static_cast<std::int64_t>(m.hdr.seq));
+        }
+      }
     }
     pending_.erase(it);
   }
@@ -301,14 +314,40 @@ void GcsEndpoint::process_message(Message m) {
   auto [it, fresh] = last_delivered_.try_emplace(dk, 0);
   if (!fresh && m.hdr.seq <= it->second) {
     ++stats_.duplicates_dropped[type_idx];
+    if (c_duplicates_) ++*c_duplicates_;
     return;
   }
   it->second = m.hdr.seq;
 
   ++stats_.delivered[type_idx];
+  if (c_delivered_) ++*c_delivered_;
+  if (type_idx < 16 && c_delivered_by_type_[type_idx]) ++*c_delivered_by_type_[type_idx];
+  if (rec_) {
+    rec_->event(obs::EventKind::kGcsDeliver, totem_.id(), m.hdr.sender_replica,
+                static_cast<std::int64_t>(m.hdr.type), static_cast<std::int64_t>(m.hdr.seq),
+                static_cast<std::int64_t>(m.hdr.conn.value));
+  }
   auto sub = subscribers_.find(m.hdr.dst_grp);
   if (sub != subscribers_.end()) {
     for (auto& fn : sub->second) fn(m);
+  }
+}
+
+void GcsEndpoint::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  totem_.set_recorder(rec);
+  if (rec) {
+    c_delivered_ = &rec->counter("gcs.delivered");
+    c_duplicates_ = &rec->counter("gcs.duplicates_dropped");
+    c_cancelled_ = &rec->counter("gcs.sent_cancelled");
+    c_view_changes_ = &rec->counter("gcs.view_changes");
+    for (std::size_t i = 1; i <= static_cast<std::size_t>(MsgType::kFragment); ++i) {
+      c_delivered_by_type_[i] =
+          &rec->counter(std::string("gcs.delivered.") + to_string(static_cast<MsgType>(i)));
+    }
+  } else {
+    c_delivered_ = c_duplicates_ = c_cancelled_ = c_view_changes_ = nullptr;
+    for (auto& c : c_delivered_by_type_) c = nullptr;
   }
 }
 

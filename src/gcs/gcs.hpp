@@ -159,6 +159,10 @@ class GcsEndpoint {
   [[nodiscard]] totem::TotemNode& totem() { return totem_; }
   [[nodiscard]] NodeId node_id() const { return totem_.id(); }
 
+  /// Attach (or detach, with nullptr) an observability recorder.  Also
+  /// wires the underlying Totem node.
+  void set_recorder(obs::Recorder* rec);
+
   /// Serialize / parse the header+payload wire format (exposed for tests).
   static Bytes encode(const Message& m);
   static Message decode(const Bytes& b);
@@ -215,6 +219,14 @@ class GcsEndpoint {
       reassembly_;
 
   GcsStats stats_;
+  obs::Recorder* rec_ = nullptr;
+  // Hot-path counters resolved once in set_recorder(); per-type delivery
+  // counts are indexed by MsgType so delivery stays map-lookup free.
+  obs::Counter* c_delivered_ = nullptr;
+  obs::Counter* c_duplicates_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_view_changes_ = nullptr;
+  obs::Counter* c_delivered_by_type_[16] = {};
 };
 
 }  // namespace cts::gcs

@@ -54,30 +54,50 @@ Micros Network::draw_hop_latency() {
 }
 
 void Network::deliver(NodeId src, NodeId dst, Bytes payload, Micros depart) {
+  // In-flight bit corruption: one random bit flips.  The RNG is only
+  // touched when the knob is on, so default runs draw the same sequence
+  // as before the knob existed.
+  if (cfg_.corrupt_probability > 0 && !payload.empty() && rng_.chance(cfg_.corrupt_probability)) {
+    const auto byte = static_cast<std::size_t>(rng_.below(payload.size()));
+    payload[byte] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    ++stats_.packets_corrupted;
+    if (c_corrupted_) ++*c_corrupted_;
+    if (rec_) {
+      rec_->event(obs::EventKind::kNetCorrupt, dst, ReplicaId{}, src.value,
+                  static_cast<std::int64_t>(payload.size()));
+    }
+  }
   const Micros arrive = depart + draw_hop_latency();
   sim_.after(arrive - sim_.now(), [this, src, dst, p = std::move(payload)] {
     // Re-check liveness at delivery time: the destination may have crashed
     // while the packet was in flight.
-    if (is_down(dst)) {
-      ++stats_.packets_dropped;
-      return;
-    }
     auto it = handlers_.find(dst);
-    if (it == handlers_.end()) {
-      ++stats_.packets_dropped;
+    if (is_down(dst) || it == handlers_.end()) {
+      drop(src, dst, p.size());
       return;
     }
     ++stats_.packets_delivered;
+    if (c_delivered_) ++*c_delivered_;
     it->second(src, p);
   });
+}
+
+void Network::drop(NodeId src, NodeId dst, std::size_t payload_size) {
+  ++stats_.packets_dropped;
+  if (c_dropped_) ++*c_dropped_;
+  if (rec_) {
+    rec_->event(obs::EventKind::kNetDrop, dst, ReplicaId{}, src.value,
+                static_cast<std::int64_t>(payload_size));
+  }
 }
 
 void Network::send(NodeId src, NodeId dst, const Bytes& payload) {
   ++stats_.packets_sent;
   stats_.bytes_sent += payload.size();
+  if (c_sent_) ++*c_sent_;
   const Micros depart = tx_departure(src, payload.size());
   if (!reachable(src, dst) || rng_.chance(cfg_.loss_probability)) {
-    ++stats_.packets_dropped;
+    drop(src, dst, payload.size());
     return;
   }
   deliver(src, dst, payload, depart);
@@ -86,13 +106,14 @@ void Network::send(NodeId src, NodeId dst, const Bytes& payload) {
 void Network::broadcast(NodeId src, const Bytes& payload) {
   ++stats_.packets_sent;
   stats_.bytes_sent += payload.size();
+  if (c_sent_) ++*c_sent_;
   // One transmission serves every receiver (Ethernet broadcast); loss and
   // jitter are drawn per receiver (independent NIC/interrupt behavior).
   const Micros depart = tx_departure(src, payload.size());
   for (const auto& [node, handler] : handlers_) {
     if (node == src) continue;
     if (!reachable(src, node) || rng_.chance(cfg_.loss_probability)) {
-      ++stats_.packets_dropped;
+      drop(src, node, payload.size());
       continue;
     }
     deliver(src, node, payload, depart);
@@ -107,11 +128,33 @@ void Network::partition(const std::vector<std::vector<NodeId>>& components) {
     ++idx;
   }
   CTS_INFO() << "network partitioned into " << components.size() << "+ components";
+  if (rec_) {
+    ++rec_->counter("net.partitions");
+    rec_->event(obs::EventKind::kNetPartition, NodeId{}, ReplicaId{},
+                components.empty() ? 0 : static_cast<std::int64_t>(components[0].size()),
+                components.size() > 1 ? static_cast<std::int64_t>(components[1].size()) : 0);
+  }
 }
 
 void Network::heal() {
   component_of_.clear();
   CTS_INFO() << "network partition healed";
+  if (rec_) {
+    ++rec_->counter("net.heals");
+    rec_->event(obs::EventKind::kNetHeal);
+  }
+}
+
+void Network::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  if (rec) {
+    c_sent_ = &rec->counter("net.packets_sent");
+    c_delivered_ = &rec->counter("net.packets_delivered");
+    c_dropped_ = &rec->counter("net.packets_dropped");
+    c_corrupted_ = &rec->counter("net.packets_corrupted");
+  } else {
+    c_sent_ = c_delivered_ = c_dropped_ = c_corrupted_ = nullptr;
+  }
 }
 
 }  // namespace cts::net

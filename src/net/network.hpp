@@ -18,6 +18,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace cts::net {
@@ -37,6 +38,12 @@ struct NetworkConfig {
   /// Independent per-packet drop probability (0 on the paper's quiet LAN;
   /// raised by the fault-injection tests).
   double loss_probability = 0.0;
+  /// Independent per-packet in-flight corruption probability: one random
+  /// bit of the payload is flipped.  Totem's FNV-1a sealed envelope detects
+  /// and discards such packets, so corruption manifests upstream as loss.
+  /// When 0 (the default) no RNG draw is made, so existing calibrated runs
+  /// see an unchanged random sequence.
+  double corrupt_probability = 0.0;
 };
 
 /// Counters for wire-level traffic, per node and total.
@@ -44,6 +51,7 @@ struct NetworkStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_dropped = 0;
+  std::uint64_t packets_corrupted = 0;
   std::uint64_t bytes_sent = 0;
 };
 
@@ -86,11 +94,16 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] NetworkConfig& config() { return cfg_; }
 
+  /// Attach (or detach, with nullptr) an observability recorder.  Purely
+  /// passive: recording never schedules events or draws randomness.
+  void set_recorder(obs::Recorder* rec);
+
  private:
   [[nodiscard]] bool reachable(NodeId src, NodeId dst) const;
   [[nodiscard]] Micros tx_departure(NodeId src, std::size_t payload_size);
   [[nodiscard]] Micros draw_hop_latency();
   void deliver(NodeId src, NodeId dst, Bytes payload, Micros depart);
+  void drop(NodeId src, NodeId dst, std::size_t payload_size);
 
   sim::Simulator& sim_;
   NetworkConfig cfg_;
@@ -102,6 +115,12 @@ class Network {
   std::unordered_map<NodeId, Micros> tx_free_at_;
   std::unordered_map<NodeId, int> component_of_;  // empty = fully connected
   NetworkStats stats_;
+  obs::Recorder* rec_ = nullptr;
+  // Hot-path counters, resolved once in set_recorder().
+  obs::Counter* c_sent_ = nullptr;
+  obs::Counter* c_delivered_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
+  obs::Counter* c_corrupted_ = nullptr;
 };
 
 }  // namespace cts::net

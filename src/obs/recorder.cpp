@@ -1,0 +1,52 @@
+#include "obs/recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace cts::obs {
+
+std::string Recorder::summary() const {
+  std::ostringstream out;
+  out << metrics_.summary();
+  std::map<std::string, std::size_t> tallies;
+  for (const auto& e : trace_.events()) ++tallies[to_string(e.kind)];
+  for (const auto& [name, n] : tallies) out << "trace." << name << " " << n << "\n";
+  if (trace_.dropped() > 0) out << "trace.dropped " << trace_.dropped() << "\n";
+  return out.str();
+}
+
+bool Recorder::export_files(const std::string& metrics_path,
+                            const std::string& trace_path) const {
+  bool ok = true;
+  if (!metrics_path.empty()) ok = metrics_.write_json(metrics_path) && ok;
+  if (!trace_path.empty()) ok = trace_.write_jsonl(trace_path) && ok;
+  return ok;
+}
+
+int export_from_env(const Recorder& rec, const std::string& label) {
+  int written = 0;
+  auto emit = [&](const std::string& metrics_path, const std::string& trace_path) {
+    // The variables are an explicit request to export, so a failed write
+    // (typically a missing directory) warns instead of silently skipping.
+    if (!metrics_path.empty()) {
+      if (rec.metrics().write_json(metrics_path)) ++written;
+      else std::fprintf(stderr, "warning: could not write metrics to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      if (rec.trace().write_jsonl(trace_path)) ++written;
+      else std::fprintf(stderr, "warning: could not write trace to %s\n", trace_path.c_str());
+    }
+  };
+  if (const char* dir = std::getenv("CTS_OBS_DIR"); dir && *dir) {
+    const std::string base = std::string(dir) + "/" + label;
+    emit(base + ".metrics.json", base + ".trace.jsonl");
+  }
+  const char* mj = std::getenv("CTS_METRICS_JSON");
+  const char* tj = std::getenv("CTS_TRACE_JSONL");
+  emit(mj ? mj : "", tj ? tj : "");
+  return written;
+}
+
+}  // namespace cts::obs

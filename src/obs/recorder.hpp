@@ -1,0 +1,62 @@
+// Recorder: the per-testbed bundle of MetricsRegistry + TraceLog, stamped
+// with deterministic simulated time.
+//
+// One Recorder per Testbed (benches build several testbeds in one process;
+// a global would mix their runs).  Layers receive a nullable Recorder* via
+// set_recorder() and guard every touch with `if (rec_)`, so the stack runs
+// unchanged when observability is off.  Recording never feeds back into the
+// simulation — no RNG draws, no scheduled events — so enabling it cannot
+// perturb determinism.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::obs {
+
+class Recorder {
+ public:
+  explicit Recorder(sim::Simulator& sim) : sim_(sim) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  TraceLog& trace() { return trace_; }
+  [[nodiscard]] const TraceLog& trace() const { return trace_; }
+
+  /// Shortcut for metrics().counter() — the common wiring call.
+  Counter& counter(const std::string& name) { return metrics_.counter(name); }
+
+  /// Record a trace event stamped with the current simulated time.
+  void event(EventKind kind, NodeId node = NodeId{}, ReplicaId replica = ReplicaId{},
+             std::int64_t a = 0, std::int64_t b = 0, std::int64_t c = 0) {
+    trace_.record(sim_.now(), kind, node.value, replica.value, a, b, c);
+  }
+
+  /// Text summary of metrics plus per-kind trace tallies.
+  [[nodiscard]] std::string summary() const;
+
+  /// Write metrics.json / trace.jsonl.  Empty path skips that file.
+  /// Returns true if every requested write succeeded.
+  bool export_files(const std::string& metrics_path, const std::string& trace_path) const;
+
+ private:
+  sim::Simulator& sim_;
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+};
+
+/// Honor the observability environment variables:
+///   CTS_OBS_DIR=<dir>        — write <dir>/<label>.metrics.json and
+///                              <dir>/<label>.trace.jsonl
+///   CTS_METRICS_JSON=<path>  — write the metrics registry to <path>
+///   CTS_TRACE_JSONL=<path>   — write the trace to <path>
+/// Exact-path variables are meant for single-run tools; multi-run benches
+/// pass a distinct label per run and set CTS_OBS_DIR.  Returns the number
+/// of files written (0 when no variable is set).
+int export_from_env(const Recorder& rec, const std::string& label);
+
+}  // namespace cts::obs

@@ -68,6 +68,10 @@ void ReplicaManager::start_recovering(std::function<void()> recovered) {
   clock_initialized_ = false;
   saw_own_get_state_ = false;
   recovered_cb_ = std::move(recovered);
+  if (rec_) {
+    ++rec_->counter("repl.recoveries_started");
+    rec_->event(obs::EventKind::kRecoveryStart, gcs_.node_id(), cfg_.replica);
+  }
   cts_.begin_recovery([this](Micros) { clock_initialized_ = true; });
 
   // Evict our dead predecessor incarnation from the group view.  If the
@@ -161,6 +165,11 @@ void ReplicaManager::on_view(const gcs::GroupView& v) {
     ++stats_.promotions;
     primary_ = true;
     CTS_INFO() << "replica " << to_string(cfg_.replica) << " promoted to primary";
+    if (rec_) {
+      ++rec_->counter("repl.promotions");
+      rec_->event(obs::EventKind::kFailover, gcs_.node_id(), cfg_.replica,
+                  static_cast<std::int64_t>(stats_.promotions));
+    }
     cts_.set_primary(true);
     if (cfg_.style == ReplicationStyle::kSemiActive) {
       // Re-send the replies the old primary may never have transmitted;
@@ -312,6 +321,11 @@ void ReplicaManager::apply_full_checkpoint(const Bytes& state) {
   cts_.restore(cts_state);
   processed_count_ = covered;
   ++stats_.checkpoints_applied;
+  if (rec_) {
+    ++rec_->counter("repl.checkpoints_applied");
+    rec_->event(obs::EventKind::kCheckpointApplied, gcs_.node_id(), cfg_.replica,
+                static_cast<std::int64_t>(covered));
+  }
 
   if (recovering_) {
     // Renumber the queued requests with group-consistent delivery indexes:
@@ -360,6 +374,11 @@ void ReplicaManager::maybe_serve_barrier() {
 
 void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
   ++stats_.state_transfers_served;
+  if (rec_) {
+    ++rec_->counter("repl.state_transfers_served");
+    rec_->event(obs::EventKind::kStateTransfer, gcs_.node_id(), cfg_.replica,
+                static_cast<std::int64_t>(log_.size()));
+  }
   // Section 3.2: a special round of consistent clock synchronization is
   // taken immediately before the checkpoint, so the recovering replica can
   // initialize its offset from the group clock.
@@ -373,8 +392,14 @@ void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
     m.hdr.seq = get_state.hdr.seq;  // pairs the checkpoint with its request
     m.hdr.sender_replica = cfg_.replica;
     m.payload = full_checkpoint();
+    const auto ckpt_bytes = m.payload.size();
     gcs_.send(std::move(m));
     ++stats_.checkpoints_taken;
+    if (rec_) {
+      ++rec_->counter("repl.checkpoints_taken");
+      rec_->event(obs::EventKind::kCheckpointTaken, gcs_.node_id(), cfg_.replica,
+                  static_cast<std::int64_t>(ckpt_bytes));
+    }
     // Release the barriers.
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
       Shard& sh = shards_[s];
@@ -414,8 +439,14 @@ void ReplicaManager::take_periodic_checkpoint() {
   m.hdr.seq = ++checkpoint_seq_;
   m.hdr.sender_replica = cfg_.replica;
   m.payload = full_checkpoint();
+  const auto ckpt_bytes = m.payload.size();
   gcs_.send(std::move(m));
   ++stats_.checkpoints_taken;
+  if (rec_) {
+    ++rec_->counter("repl.checkpoints_taken");
+    rec_->event(obs::EventKind::kCheckpointTaken, gcs_.node_id(), cfg_.replica,
+                static_cast<std::int64_t>(ckpt_bytes));
+  }
   since_checkpoint_ = 0;
   persist_locally();
 }
@@ -438,6 +469,11 @@ void ReplicaManager::on_state(const gcs::Message& m) {
     for (auto& sh : shards_) queued += sh.queue.size();
     CTS_INFO() << "replica " << to_string(cfg_.replica) << " recovered (" << queued
                << " queued requests to drain)";
+    if (rec_) {
+      ++rec_->counter("repl.recoveries_completed");
+      rec_->event(obs::EventKind::kRecoveryComplete, gcs_.node_id(), cfg_.replica,
+                  static_cast<std::int64_t>(queued));
+    }
     if (recovered_cb_) {
       auto cb = std::move(recovered_cb_);
       recovered_cb_ = nullptr;
@@ -467,6 +503,11 @@ void ReplicaManager::on_state(const gcs::Message& m) {
     apply_full_checkpoint(m.payload);
     persist_locally();
   }
+}
+
+void ReplicaManager::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  cts_.set_recorder(rec);
 }
 
 }  // namespace cts::replication

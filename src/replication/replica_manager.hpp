@@ -131,6 +131,10 @@ class ReplicaManager {
   [[nodiscard]] std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
   [[nodiscard]] const ManagerConfig& config() const { return cfg_; }
 
+  /// Attach (or detach, with nullptr) an observability recorder.  Also
+  /// wires the embedded ConsistentTimeService.
+  void set_recorder(obs::Recorder* rec);
+
  private:
   struct PendingRequest {
     gcs::Message msg;
@@ -197,6 +201,7 @@ class ReplicaManager {
   std::uint64_t persist_low_water_ = 0;  // processed_count_ at last local persist
 
   ManagerStats stats_;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace cts::replication

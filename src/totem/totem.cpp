@@ -272,6 +272,13 @@ void TotemNode::handle_token(Token tok) {
   if (tok.token_seq <= last_token_seq_) return;  // duplicate/stale token
   last_token_seq_ = tok.token_seq;
   ++stats_.tokens_received;
+  if (c_token_pass_) ++*c_token_pass_;
+  // A full rotation completes each time the ring leader sees the token.
+  if (c_rotations_ && !view_.members.empty() && view_.members.front() == id_) ++*c_rotations_;
+  if (rec_) {
+    rec_->event(obs::EventKind::kTokenPass, id_, ReplicaId{},
+                static_cast<std::int64_t>(tok.aru), static_cast<std::int64_t>(tok.ring_id));
+  }
   if (token_obs_) token_obs_();
 
   // Progress: the ring is alive.
@@ -285,6 +292,11 @@ void TotemNode::handle_token(Token tok) {
     if (it != store_.end()) {
       net_.broadcast(id_, encode_mcast(it->second));
       ++stats_.msgs_retransmitted;
+      if (c_msg_retrans_) ++*c_msg_retrans_;
+      if (rec_) {
+        rec_->event(obs::EventKind::kMsgRetransmit, id_, ReplicaId{},
+                    static_cast<std::int64_t>(s));
+      }
     } else {
       still_missing.push_back(s);
     }
@@ -320,6 +332,16 @@ void TotemNode::handle_token(Token tok) {
     }
     tok.fcc += static_cast<std::uint32_t>(sent);
     last_sent_on_token_ = static_cast<std::uint32_t>(sent);
+    if (!send_queue_.empty()) {
+      // The rotation window (or fair share) closed before the queue
+      // drained — backpressure a perf PR would want to see.
+      ++stats_.window_stalls;
+      if (c_window_stalls_) ++*c_window_stalls_;
+      if (rec_) {
+        rec_->event(obs::EventKind::kWindowStall, id_, ReplicaId{},
+                    static_cast<std::int64_t>(send_queue_.size()), budget);
+      }
+    }
   } else {
     last_sent_on_token_ = 0;
   }
@@ -385,6 +407,10 @@ void TotemNode::arm_token_retrans() {
     if (token_retrans_attempts_ >= kMaxTokenRetransAttempts) return;
     ++token_retrans_attempts_;
     ++stats_.token_retransmissions;
+    if (c_token_retrans_) ++*c_token_retrans_;
+    if (rec_) {
+      rec_->event(obs::EventKind::kTokenRetransmit, id_, ReplicaId{}, token_retrans_attempts_);
+    }
     net_.send(id_, successor(), encode_token(*last_sent_token_));
     arm_token_retrans();
   });
@@ -437,6 +463,7 @@ void TotemNode::deliver_contiguous() {
     }
     ++delivered_up_to_;
     ++stats_.msgs_delivered;
+    if (c_delivered_) ++*c_delivered_;
     if (deliver_) deliver_(it->second.sender, it->second.payload);
   }
 }
@@ -585,6 +612,7 @@ void TotemNode::begin_recovery(const Commit& c) {
       copy.recovery = true;
       net_.broadcast(id_, encode_mcast(copy));
       ++stats_.msgs_retransmitted;
+      if (c_msg_retrans_) ++*c_msg_retrans_;
     }
   }
 
@@ -653,6 +681,12 @@ void TotemNode::install(const View& v) {
   state_ = State::kOperational;
   recovery_attempts_ = 0;
   ++stats_.membership_changes;
+  if (c_ring_changes_) ++*c_ring_changes_;
+  if (rec_) {
+    rec_->event(obs::EventKind::kRingChange, id_, ReplicaId{},
+                static_cast<std::int64_t>(v.ring_id),
+                static_cast<std::int64_t>(v.members.size()), v.primary ? 1 : 0);
+  }
   CTS_INFO() << to_string(id_) << " installed ring " << v.ring_id << " with " << v.members.size()
              << " members" << (v.primary ? " (primary)" : " (non-primary)");
   if (view_cb_) view_cb_(view_);
@@ -681,6 +715,22 @@ void TotemNode::install(const View& v) {
       if (e != epoch_) return;
       handle_token(tok);
     });
+  }
+}
+
+void TotemNode::set_recorder(obs::Recorder* rec) {
+  rec_ = rec;
+  if (rec) {
+    c_token_pass_ = &rec->counter("totem.token_passes");
+    c_rotations_ = &rec->counter("totem.token_rotations");
+    c_token_retrans_ = &rec->counter("totem.token_retransmissions");
+    c_msg_retrans_ = &rec->counter("totem.msgs_retransmitted");
+    c_delivered_ = &rec->counter("totem.msgs_delivered");
+    c_ring_changes_ = &rec->counter("totem.ring_changes");
+    c_window_stalls_ = &rec->counter("totem.window_stalls");
+  } else {
+    c_token_pass_ = c_rotations_ = c_token_retrans_ = c_msg_retrans_ = nullptr;
+    c_delivered_ = c_ring_changes_ = c_window_stalls_ = nullptr;
   }
 }
 

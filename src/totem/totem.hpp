@@ -45,6 +45,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace cts::totem {
@@ -116,6 +117,7 @@ struct TotemStats {
   std::uint64_t msgs_delivered = 0;
   std::uint64_t msgs_cancelled = 0;  // cancelled while still queued
   std::uint64_t membership_changes = 0;
+  std::uint64_t window_stalls = 0;  // token visits that left the send queue non-empty
 };
 
 /// One Totem protocol instance (one per simulated host).
@@ -159,6 +161,9 @@ class TotemNode {
   /// Instrumentation hook: invoked on every (non-duplicate) token receipt.
   /// Used by the token-latency benchmark.
   void set_token_observer(std::function<void()> fn) { token_obs_ = std::move(fn); }
+
+  /// Attach (or detach, with nullptr) an observability recorder.
+  void set_recorder(obs::Recorder* rec);
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] State state() const { return state_; }
@@ -321,6 +326,15 @@ class TotemNode {
   ViewFn view_cb_;
   std::function<void()> token_obs_;
   TotemStats stats_;
+  obs::Recorder* rec_ = nullptr;
+  // Hot-path counters, resolved once in set_recorder().
+  obs::Counter* c_token_pass_ = nullptr;
+  obs::Counter* c_rotations_ = nullptr;
+  obs::Counter* c_token_retrans_ = nullptr;
+  obs::Counter* c_msg_retrans_ = nullptr;
+  obs::Counter* c_delivered_ = nullptr;
+  obs::Counter* c_ring_changes_ = nullptr;
+  obs::Counter* c_window_stalls_ = nullptr;
 
   // Epoch guard: bumped on crash/restart so stale timer closures become
   // no-ops instead of resurrecting a dead node.

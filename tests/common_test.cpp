@@ -235,12 +235,41 @@ TEST(HistogramTest, OverflowSamplesLandInLastBin) {
   EXPECT_EQ(rows[0].first, 100);  // the overflow bin
 }
 
-TEST(HistogramTest, NegativeSamplesClampToFirstBin) {
+TEST(HistogramTest, NegativeSamplesCountAsUnderflowNotBinZero) {
+  // A negative latency is a causality bug upstream; folding it into bin 0
+  // would silently distort the density, so add() diverts it to a dedicated
+  // underflow stat instead.
   Histogram h(10, 100);
   h.add(-50);
-  auto rows = h.density();
-  ASSERT_EQ(rows.size(), 1u);
-  EXPECT_EQ(rows[0].first, 0);
+  h.add(-3);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.underflow_min(), -50);
+  EXPECT_TRUE(h.density().empty());
+
+  h.add(5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);  // underflow excluded from the stats
+  const auto t = h.table("skew");
+  EXPECT_NE(t.find("underflow=2"), std::string::npos) << t;
+}
+
+TEST(HistogramTest, UnderflowMinIsZeroWithoutUnderflow) {
+  Histogram h(10, 100);
+  h.add(7);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.underflow_min(), 0);
+}
+
+TEST(HistogramTest, ModeBinIgnoresTheOverflowCatchAll) {
+  // Ten samples land past max_value, five in a real bin: the overflow
+  // catch-all has the most mass, but it is not a real bin and must never
+  // be reported as the distribution's mode.
+  Histogram h(10, 100);
+  for (int i = 0; i < 10; ++i) h.add(5000);
+  for (int i = 0; i < 5; ++i) h.add(42);
+  EXPECT_EQ(h.mode_bin(), 40);
+  EXPECT_EQ(h.overflow(), 10u);
 }
 
 TEST(HistogramTest, TableContainsSummary) {

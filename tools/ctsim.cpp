@@ -20,6 +20,7 @@
 #include "app/kv_store.hpp"
 #include "app/testbed.hpp"
 #include "common/histogram.hpp"
+#include "obs/recorder.hpp"
 
 using namespace cts;
 using namespace cts::app;
@@ -50,6 +51,8 @@ struct Options {
   std::uint32_t shards = 1;
   bool durable = false;  // stable storage + cold-startable
   bool kv = false;       // run the KV workload instead of the time server
+  std::string metrics_json;  // write obs metrics JSON here ("" = off)
+  std::string trace_jsonl;   // write obs trace JSONL here ("" = off)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -72,6 +75,8 @@ struct Options {
       "  --shards N              request-processing shards per replica (default 1)\n"
       "  --durable               stable storage: persist checkpoints to local disk\n"
       "  --kv                    drive the lease KV store instead of the time server\n"
+      "  --metrics-json PATH     write per-layer metrics (counters/gauges/histograms) as JSON\n"
+      "  --trace-jsonl PATH      write the structured event trace as JSON lines\n"
       "  --verbose               per-event narration\n",
       argv0);
   std::exit(2);
@@ -128,6 +133,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--shards") o.shards = std::stoul(need(i));
     else if (a == "--durable") o.durable = true;
     else if (a == "--kv") o.kv = true;
+    else if (a == "--metrics-json") o.metrics_json = need(i);
+    else if (a == "--trace-jsonl") o.trace_jsonl = need(i);
     else if (a == "--verbose") o.verbose = true;
     else usage(argv[0]);
   }
@@ -302,5 +309,16 @@ int main(int argc, char** argv) {
         (unsigned long long)ts.sends_initiated, (unsigned long long)ts.sends_avoided,
         (long long)tb.server(s).time_service().clock_offset());
   }
+
+  // --- Observability export ---------------------------------------------------
+  if (!o.metrics_json.empty() && !tb.recorder().metrics().write_json(o.metrics_json)) {
+    std::fprintf(stderr, "warning: could not write metrics to %s\n", o.metrics_json.c_str());
+  }
+  if (!o.trace_jsonl.empty() && !tb.recorder().trace().write_jsonl(o.trace_jsonl)) {
+    std::fprintf(stderr, "warning: could not write trace to %s\n", o.trace_jsonl.c_str());
+  }
+  obs::export_from_env(tb.recorder(), "ctsim");
+  if (o.verbose) std::printf("\n%s", tb.recorder().summary().c_str());
+
   return violations == 0 && consistent ? 0 : 1;
 }
