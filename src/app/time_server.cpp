@@ -1,5 +1,7 @@
 #include "app/time_server.hpp"
 
+#include <algorithm>
+
 namespace cts::app {
 
 Bytes make_get_time_request() {
@@ -84,7 +86,9 @@ void TimeServerApp::restore(const Bytes& state) {
   counter_ = r.u64();
   const auto n = r.u32();
   history_.clear();
-  history_.reserve(n);
+  // Cap the reserve by the bytes actually present so a malformed checkpoint
+  // cannot trigger a huge allocation before the first read throws.
+  history_.reserve(std::min<std::size_t>(n, r.remaining() / sizeof(std::int64_t)));
   for (std::uint32_t i = 0; i < n; ++i) history_.push_back(r.i64());
 }
 

@@ -19,11 +19,30 @@ namespace cts {
 using Bytes = std::vector<std::uint8_t>;
 
 /// Thrown by BytesReader when a read runs past the end of the buffer or a
-/// length prefix is inconsistent — i.e. the message is malformed.
+/// length prefix is inconsistent — i.e. the message is malformed.  Every
+/// out-of-bounds access fails through this explicit error path; there is
+/// deliberately no assert-based (NDEBUG-vanishing) variant, because a
+/// malformed packet must be rejected identically in Debug and Release.
 class CodecError : public std::runtime_error {
  public:
   explicit CodecError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// The repository's single audited type-punning site: fixed-width
+/// little-endian loads/stores for envelope fields that are written after
+/// the fact (e.g. a checksum patched over a serialized packet).  All other
+/// code must go through BytesWriter/BytesReader or these helpers — raw
+/// memcpy/reinterpret_cast elsewhere is a detlint error.
+///
+/// The caller is responsible for bounds: `p` must point at 4 readable
+/// (resp. writable) bytes.
+inline std::uint32_t load_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store_u32le(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
 
 /// Appends fixed-width little-endian values to a growing byte buffer.
 class BytesWriter {
@@ -94,13 +113,23 @@ class BytesReader {
     return out;
   }
 
+  /// Skip `n` bytes (e.g. an envelope already validated by the caller);
+  /// throws CodecError if fewer than `n` remain.
+  void skip(std::size_t n) {
+    require(n);
+    pos_ += n;
+  }
+
   /// Number of unread bytes remaining.
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool done() const { return remaining() == 0; }
 
  private:
   void require(std::size_t n) const {
-    if (pos_ + n > data_.size()) {
+    // Compare against the remaining count rather than `pos_ + n`: a hostile
+    // length prefix near SIZE_MAX must not wrap the addition and sneak past
+    // the bound (pos_ <= size() is an invariant, so the subtraction is safe).
+    if (n > data_.size() - pos_) {
       throw CodecError("truncated message: need " + std::to_string(n) + " bytes, have " +
                        std::to_string(data_.size() - pos_));
     }

@@ -80,22 +80,30 @@ class TimeSyscalls {
   static Micros to_micros(Micros us) { return us; }
 
   /// gettimeofday(2): microsecond resolution.
+  // detlint:allow(wall-clock): interposed-symbol facade — reads the CCS
+  // group clock, never the host clock; the name mirrors the libc symbol.
   auto gettimeofday() {
     return Call<TimeVal, ClockCallType::kGettimeofday, &TimeSyscalls::to_timeval>{svc_, thread_};
   }
 
   /// time(2): whole seconds.
+  // detlint:allow(wall-clock): interposed-symbol facade — reads the CCS
+  // group clock, never the host clock; the name mirrors the libc symbol.
   auto time() {
     return Call<std::int64_t, ClockCallType::kTime, &TimeSyscalls::to_seconds>{svc_, thread_};
   }
 
   /// ftime(3): millisecond resolution.
+  // detlint:allow(wall-clock): interposed-symbol facade — reads the CCS
+  // group clock, never the host clock; the name mirrors the libc symbol.
   auto ftime() {
     return Call<TimeB, ClockCallType::kFtime, &TimeSyscalls::to_timeb>{svc_, thread_};
   }
 
   /// clock_gettime(2) with CLOCK_REALTIME: microseconds (ns granularity is
   /// below the simulation's resolution).
+  // detlint:allow(wall-clock): interposed-symbol facade — reads the CCS
+  // group clock, never the host clock; the name mirrors the libc symbol.
   auto clock_gettime() {
     return Call<Micros, ClockCallType::kClockGettime, &TimeSyscalls::to_micros>{svc_, thread_};
   }

@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"

@@ -11,8 +11,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -108,12 +108,16 @@ class Network {
   sim::Simulator& sim_;
   NetworkConfig cfg_;
   Rng rng_;
-  std::unordered_map<NodeId, Handler> handlers_;
-  std::unordered_map<NodeId, bool> down_;
+  // Ordered maps, deliberately: broadcast() walks handlers_ drawing
+  // per-receiver loss/jitter randomness, so iteration order is part of the
+  // deterministic schedule.  A hash map here would tie the RNG sequence to
+  // hash-table layout, which varies across standard-library versions.
+  std::map<NodeId, Handler> handlers_;
+  std::map<NodeId, bool> down_;
   // Per-node NIC: a host transmits one packet at a time at the wire rate,
   // so a burst (e.g. checkpoint fragments) queues behind itself.
-  std::unordered_map<NodeId, Micros> tx_free_at_;
-  std::unordered_map<NodeId, int> component_of_;  // empty = fully connected
+  std::map<NodeId, Micros> tx_free_at_;
+  std::map<NodeId, int> component_of_;  // empty = fully connected
   NetworkStats stats_;
   obs::Recorder* rec_ = nullptr;
   // Hot-path counters, resolved once in set_recorder().

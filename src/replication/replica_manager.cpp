@@ -206,7 +206,7 @@ bool ReplicaManager::should_process() const {
 
 std::uint32_t ReplicaManager::shard_of(const gcs::Message& m) const {
   if (shards_.size() == 1) return 0;
-  if (cfg_.shard_fn) return cfg_.shard_fn(m) % shards_.size();
+  if (cfg_.shard_fn) return cfg_.shard_fn(m) % static_cast<std::uint32_t>(shards_.size());
   return 0;
 }
 

@@ -159,6 +159,8 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::size_t pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // detlint:allow(unordered-container): membership-test only (insert/find/
+  // erase); never iterated, so hash order cannot leak into the schedule.
   std::unordered_set<std::uint64_t> cancelled_;
   Rng rng_;
 };

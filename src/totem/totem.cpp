@@ -10,6 +10,8 @@ namespace cts::totem {
 namespace {
 constexpr int kMaxTokenRetransAttempts = 5;
 constexpr std::uint32_t kPacketMagic = 0x544f544d;  // "TOTM"
+constexpr std::size_t kEnvelopeSize = 8;            // [magic u32][checksum u32]
+constexpr std::size_t kEnvelopeChecksumOffset = 4;
 
 std::uint32_t fnv1a(const Bytes& data, std::size_t from) {
   std::uint32_t h = 2166136261u;
@@ -30,27 +32,25 @@ TotemNode::TotemNode(sim::Simulator& sim, net::Network& net, NodeId id, TotemCon
 
 Bytes TotemNode::seal(Bytes body) {
   // [magic u32][checksum u32][body...] — checksum covers the body only.
-  Bytes packet;
-  packet.reserve(body.size() + 8);
   BytesWriter w;
   w.u32(kPacketMagic);
-  Bytes tmp = std::move(w).take();
-  packet.insert(packet.end(), tmp.begin(), tmp.end());
-  packet.resize(8);
+  w.u32(0);  // checksum placeholder, patched once the body is in place
+  Bytes packet = std::move(w).take();
   packet.insert(packet.end(), body.begin(), body.end());
-  const std::uint32_t sum = fnv1a(packet, 8);
-  std::memcpy(packet.data() + 4, &sum, 4);
+  store_u32le(packet.data() + kEnvelopeChecksumOffset, fnv1a(packet, kEnvelopeSize));
   return packet;
 }
 
 bool TotemNode::unseal(const Bytes& packet, BytesReader& out_reader) {
-  if (packet.size() < 8) return false;
-  std::uint32_t magic = 0, sum = 0;
-  std::memcpy(&magic, packet.data(), 4);
-  std::memcpy(&sum, packet.data() + 4, 4);
-  if (magic != kPacketMagic) return false;
-  if (sum != fnv1a(packet, 8)) return false;
-  out_reader = BytesReader(std::span<const std::uint8_t>(packet.data() + 8, packet.size() - 8));
+  // A datagram shorter than the envelope cannot be a Totem packet; reject
+  // it before touching any field so truncated junk is dropped, not parsed.
+  if (packet.size() < kEnvelopeSize) return false;
+  if (load_u32le(packet.data()) != kPacketMagic) return false;
+  if (load_u32le(packet.data() + kEnvelopeChecksumOffset) != fnv1a(packet, kEnvelopeSize)) {
+    return false;
+  }
+  out_reader = BytesReader(
+      std::span<const std::uint8_t>(packet.data() + kEnvelopeSize, packet.size() - kEnvelopeSize));
   return true;
 }
 
@@ -201,7 +201,9 @@ void TotemNode::on_packet(NodeId src, const Bytes& data) {
         t.aru_setter = NodeId{r.u32()};
         t.fcc = r.u32();
         const auto n = r.u32();
-        t.rtr.reserve(n);
+        // Cap the reserve by the bytes actually present: a forged count must
+        // not trigger a huge allocation before the first read throws.
+        t.rtr.reserve(std::min<std::size_t>(n, r.remaining() / sizeof(std::uint64_t)));
         for (std::uint32_t i = 0; i < n; ++i) t.rtr.push_back(r.u64());
         handle_token(std::move(t));
         break;
@@ -221,7 +223,7 @@ void TotemNode::on_packet(NodeId src, const Bytes& data) {
         Join j;
         j.sender = NodeId{r.u32()};
         const auto n = r.u32();
-        j.perceived.reserve(n);
+        j.perceived.reserve(std::min<std::size_t>(n, r.remaining() / sizeof(std::uint32_t)));
         for (std::uint32_t i = 0; i < n; ++i) j.perceived.push_back(NodeId{r.u32()});
         j.old_ring_id = r.u64();
         j.my_aru = r.u64();
@@ -233,7 +235,8 @@ void TotemNode::on_packet(NodeId src, const Bytes& data) {
         Commit c;
         c.new_ring_id = r.u64();
         const auto n = r.u32();
-        c.members.reserve(n);
+        // 28 = serialized CommitMember size (u32 + 3×u64).
+        c.members.reserve(std::min<std::size_t>(n, r.remaining() / 28));
         for (std::uint32_t i = 0; i < n; ++i) {
           CommitMember m;
           m.node = NodeId{r.u32()};

@@ -39,7 +39,6 @@
 #include <map>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bytes.hpp"

@@ -93,6 +93,80 @@ TEST(BytesTest, ThrowsOnLyingLengthPrefix) {
   EXPECT_THROW(r.bytes(), CodecError);
 }
 
+TEST(BytesTest, ThrowsOnEmptyBuffer) {
+  const Bytes empty;
+  BytesReader r(empty);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.u8(), CodecError);
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(BytesTest, HostileLengthPrefixNearMaxDoesNotWrap) {
+  // A length prefix of 0xffffffff must fail the bounds check, not wrap
+  // pos_ + n around SIZE_MAX and read out of bounds.
+  BytesWriter w;
+  w.u32(0xffffffffu);
+  w.u8(1);  // one real byte behind the lying prefix
+  BytesReader r(w.data());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(BytesTest, OversizedStringPrefixThrows) {
+  BytesWriter w;
+  w.str("abc");
+  Bytes raw = std::move(w).take();
+  raw[0] = 200;  // claim 200 bytes; only 3 follow
+  BytesReader r(raw);
+  EXPECT_THROW(r.str(), CodecError);
+}
+
+TEST(BytesTest, TruncationErrorMentionsCounts) {
+  BytesWriter w;
+  w.u16(0x0201);
+  BytesReader r(w.data());
+  try {
+    r.u64();
+    FAIL() << "expected CodecError";
+  } catch (const CodecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("need 8"), std::string::npos) << what;
+    EXPECT_NE(what.find("have 2"), std::string::npos) << what;
+  }
+}
+
+TEST(BytesTest, FailedReadLeavesReaderPositionIntact) {
+  // A rejected read must not half-consume the buffer: the caller can still
+  // read whatever genuinely remains.
+  BytesWriter w;
+  w.u16(0x1234);
+  BytesReader r(w.data());
+  EXPECT_THROW(r.u64(), CodecError);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.u16(), 0x1234);
+}
+
+TEST(BytesTest, SkipAdvancesAndBoundsChecks) {
+  BytesWriter w;
+  w.u32(0xaabbccdd);
+  w.u8(0x42);
+  BytesReader r(w.data());
+  r.skip(4);
+  EXPECT_EQ(r.u8(), 0x42);
+  EXPECT_TRUE(r.done());
+  EXPECT_THROW(r.skip(1), CodecError);
+}
+
+TEST(BytesTest, LoadStoreU32RoundTrip) {
+  Bytes buf(6, 0xee);
+  store_u32le(buf.data() + 1, 0x01020304u);
+  EXPECT_EQ(load_u32le(buf.data() + 1), 0x01020304u);
+  // Little-endian on the wire, untouched guard bytes around the field.
+  EXPECT_EQ(buf[0], 0xee);
+  EXPECT_EQ(buf[1], 0x04);
+  EXPECT_EQ(buf[4], 0x01);
+  EXPECT_EQ(buf[5], 0xee);
+}
+
 TEST(BytesTest, RemainingTracksConsumption) {
   BytesWriter w;
   w.u32(1);

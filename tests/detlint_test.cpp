@@ -1,0 +1,242 @@
+// Unit tests for the detlint determinism/protocol-invariant analyzer.
+//
+// Every hazard snippet lives inside a C++ string literal, which the
+// scanner blanks before matching — so this file itself lints clean even
+// though it spells out each forbidden construct.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+using detlint::Finding;
+using detlint::Severity;
+using detlint::lint_content;
+
+bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) { return f.rule == rule; });
+}
+
+int line_of(const std::vector<Finding>& fs, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+// --- unordered-container -------------------------------------------------------
+
+TEST(DetlintTest, UnorderedContainerFlaggedInProtocolLayer) {
+  const std::string src = "#include <unordered_map>\n"
+                          "std::unordered_map<int, int> m_;\n";
+  const auto fs = lint_content("src/net/network.hpp", src);
+  ASSERT_TRUE(has_rule(fs, "unordered-container"));
+  EXPECT_EQ(line_of(fs, "unordered-container"), 2);
+}
+
+TEST(DetlintTest, UnorderedContainerAllowedOutsideProtocolLayers) {
+  const std::string src = "std::unordered_map<int, int> m_;\n";
+  EXPECT_FALSE(has_rule(lint_content("src/app/kv_store.hpp", src), "unordered-container"));
+  EXPECT_FALSE(has_rule(lint_content("tests/foo_test.cpp", src), "unordered-container"));
+}
+
+TEST(DetlintTest, AllProtocolLayersCovered) {
+  const std::string src = "std::unordered_set<int> s_;\n";
+  for (const char* dir : {"src/net/a.hpp", "src/sim/a.hpp", "src/totem/a.hpp", "src/gcs/a.hpp",
+                          "src/replication/a.hpp", "src/cts/a.hpp"}) {
+    EXPECT_TRUE(has_rule(lint_content(dir, src), "unordered-container")) << dir;
+  }
+}
+
+// --- wall-clock ----------------------------------------------------------------
+
+TEST(DetlintTest, WallClockCallsFlagged) {
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp",
+                                    "auto t = std::chrono::system_clock::now();\n"),
+                       "wall-clock"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "steady_clock::now();\n"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "gettimeofday(&tv, nullptr);\n"),
+                       "wall-clock"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "auto t = time(nullptr);\n"), "wall-clock"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "clock_gettime(CLOCK_REALTIME, &ts);\n"),
+                       "wall-clock"));
+}
+
+TEST(DetlintTest, SimulatedFacadeCallsNotFlagged) {
+  // Member access through the TimeSyscalls facade is the sanctioned path.
+  EXPECT_FALSE(has_rule(lint_content("src/app/a.cpp", "auto now = co_await sys_.gettimeofday();\n"),
+                        "wall-clock"));
+  EXPECT_FALSE(
+      has_rule(lint_content("src/app/a.cpp", "auto now = sys->clock_gettime();\n"), "wall-clock"));
+  // Identifier suffixes are not calls.
+  EXPECT_FALSE(has_rule(lint_content("src/app/a.cpp", "run_time(5);\n"), "wall-clock"));
+}
+
+TEST(DetlintTest, ObsExportPathsExemptFromWallClock) {
+  EXPECT_FALSE(has_rule(lint_content("src/obs/recorder.cpp",
+                                     "auto t = std::chrono::system_clock::now();\n"),
+                        "wall-clock"));
+}
+
+// --- raw-random ----------------------------------------------------------------
+
+TEST(DetlintTest, RawRandomnessFlaggedOutsideRngHome) {
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "int x = std::rand();\n"), "raw-random"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "std::random_device rd;\n"), "raw-random"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "std::mt19937_64 gen(seed);\n"),
+                       "raw-random"));
+  EXPECT_FALSE(has_rule(lint_content("src/common/rng.hpp", "std::random_device rd;\n"),
+                        "raw-random"));
+}
+
+// --- side-effect-assert --------------------------------------------------------
+
+TEST(DetlintTest, SideEffectAssertFlagged) {
+  EXPECT_TRUE(has_rule(lint_content("src/totem/a.cpp", "assert(++count > 0);\n"),
+                       "side-effect-assert"));
+  EXPECT_TRUE(has_rule(lint_content("src/totem/a.cpp", "assert(m.insert(k).second);\n"),
+                       "side-effect-assert"));
+  EXPECT_TRUE(
+      has_rule(lint_content("src/totem/a.cpp", "assert(x = compute());\n"), "side-effect-assert"));
+}
+
+TEST(DetlintTest, PureAssertsNotFlagged) {
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp", "assert(t >= now_);\n"),
+                        "side-effect-assert"));
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp", "assert(it != m.end());\n"),
+                        "side-effect-assert"));
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp",
+                                     "assert(a == b && \"message text\");\n"),
+                        "side-effect-assert"));
+  // static_assert is compile-time; it cannot vanish at runtime.
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp", "static_assert(sizeof(T) == 8);\n"),
+                        "side-effect-assert"));
+}
+
+TEST(DetlintTest, MultiLineAssertArgumentIsJoined) {
+  const std::string src = "assert(very_long_condition_one &&\n"
+                          "       container.erase(k) == 1);\n";
+  EXPECT_TRUE(has_rule(lint_content("src/totem/a.cpp", src), "side-effect-assert"));
+}
+
+// --- type-pun ------------------------------------------------------------------
+
+TEST(DetlintTest, TypePunningFlaggedOutsideBytesCodec) {
+  EXPECT_TRUE(has_rule(lint_content("src/totem/a.cpp", "std::memcpy(&v, p, 4);\n"), "type-pun"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp",
+                                    "auto* p = reinterpret_cast<const char*>(data);\n"),
+                       "type-pun"));
+  EXPECT_FALSE(has_rule(lint_content("src/common/bytes.hpp", "std::memcpy(&v, p, 4);\n"),
+                        "type-pun"));
+}
+
+// --- float-compare -------------------------------------------------------------
+
+TEST(DetlintTest, FloatEqualityFlagged) {
+  EXPECT_TRUE(has_rule(lint_content("src/clock/a.cpp", "if (drift == 0.0) return;\n"),
+                       "float-compare"));
+  EXPECT_TRUE(has_rule(lint_content("src/clock/a.cpp", "bool same = 1.5f == ratio;\n"),
+                       "float-compare"));
+  EXPECT_FALSE(has_rule(lint_content("src/clock/a.cpp", "if (count == 0) return;\n"),
+                        "float-compare"));
+  EXPECT_FALSE(has_rule(lint_content("src/clock/a.cpp", "if (x >= 0.5) return;\n"),
+                        "float-compare"));
+}
+
+// --- pointer-key ---------------------------------------------------------------
+
+TEST(DetlintTest, PointerKeyedContainersFlagged) {
+  const std::string src = "std::map<Replica*, int> owners_;\n";
+  const auto protocol = lint_content("src/replication/a.hpp", src);
+  ASSERT_TRUE(has_rule(protocol, "pointer-key"));
+  for (const Finding& f : protocol) {
+    if (f.rule == "pointer-key") {
+      EXPECT_EQ(f.severity, Severity::kError);
+    }
+  }
+  const auto app = lint_content("src/app/a.hpp", src);
+  ASSERT_TRUE(has_rule(app, "pointer-key"));
+  for (const Finding& f : app) {
+    if (f.rule == "pointer-key") {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+}
+
+// --- comment/string awareness --------------------------------------------------
+
+TEST(DetlintTest, CommentsAndStringsAreNotCode) {
+  EXPECT_TRUE(lint_content("src/net/a.hpp", "// std::unordered_map<int,int> old;\n").empty());
+  EXPECT_TRUE(lint_content("src/net/a.hpp",
+                           "/* std::unordered_map<int,int>\n   spans lines */\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_content("src/net/a.hpp", "const char* s = \"std::unordered_map\";\n").empty());
+}
+
+TEST(DetlintTest, DigitSeparatorsDoNotStartCharLiterals) {
+  // 5'000 must not open a char literal that swallows the hazard after it.
+  const std::string src = "sim.after(5'000, [] { std::rand(); });\n";
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", src), "raw-random"));
+}
+
+// --- suppressions --------------------------------------------------------------
+
+TEST(DetlintTest, SameLineSuppressionWithJustification) {
+  const std::string src = "std::unordered_map<int, int> idx_;  "
+                          "// detlint:allow(unordered-container): never iterated\n";
+  EXPECT_TRUE(lint_content("src/net/a.hpp", src).empty());
+}
+
+TEST(DetlintTest, PrecedingCommentSuppressionCoversNextCodeLine) {
+  const std::string src = "// detlint:allow(unordered-container): membership test only,\n"
+                          "// never iterated so hash order cannot leak.\n"
+                          "std::unordered_set<int> seen_;\n";
+  EXPECT_TRUE(lint_content("src/sim/a.hpp", src).empty());
+}
+
+TEST(DetlintTest, BareSuppressionIsAnError) {
+  const std::string src = "std::unordered_map<int, int> idx_;  "
+                          "// detlint:allow(unordered-container)\n";
+  const auto fs = lint_content("src/net/a.hpp", src);
+  EXPECT_TRUE(has_rule(fs, "bare-suppression"));
+  EXPECT_FALSE(has_rule(fs, "unordered-container"));  // still suppresses
+}
+
+TEST(DetlintTest, UnusedSuppressionIsAWarning) {
+  const std::string src = "// detlint:allow(wall-clock): stale justification\n"
+                          "int x = 1;\n";
+  const auto fs = lint_content("src/app/a.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "unused-suppression"));
+  EXPECT_EQ(fs.front().severity, Severity::kWarning);
+}
+
+TEST(DetlintTest, SuppressionOnlySilencesItsOwnRule) {
+  const std::string src = "std::unordered_map<int, int> m_;  "
+                          "// detlint:allow(wall-clock): wrong rule named\n";
+  const auto fs = lint_content("src/net/a.hpp", src);
+  EXPECT_TRUE(has_rule(fs, "unordered-container"));
+  EXPECT_TRUE(has_rule(fs, "unused-suppression"));
+}
+
+// --- exit codes ----------------------------------------------------------------
+
+TEST(DetlintTest, ExitCodeIsSeverityRanked) {
+  EXPECT_EQ(detlint::exit_code({}), 0);
+  const Finding warn{"f", 1, "pointer-key", Severity::kWarning, "m"};
+  const Finding err{"f", 1, "wall-clock", Severity::kError, "m"};
+  EXPECT_EQ(detlint::exit_code({warn}), 1);
+  EXPECT_EQ(detlint::exit_code({warn, err}), 2);
+}
+
+TEST(DetlintTest, FormatIsGccStyle) {
+  const Finding f{"src/net/network.hpp", 42, "unordered-container", Severity::kError, "msg"};
+  EXPECT_EQ(detlint::format_finding(f),
+            "src/net/network.hpp:42: error: msg [unordered-container]");
+}
+
+}  // namespace

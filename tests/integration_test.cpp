@@ -248,12 +248,13 @@ INSTANTIATE_TEST_SUITE_P(
                       StackParam{5, ReplicationStyle::kSemiActive, 7},
                       StackParam{3, ReplicationStyle::kPassive, 8},
                       StackParam{4, ReplicationStyle::kPassive, 9}),
-    [](const ::testing::TestParamInfo<StackParam>& info) {
-      const char* style = info.param.style == ReplicationStyle::kActive       ? "active"
-                          : info.param.style == ReplicationStyle::kSemiActive ? "semiactive"
-                                                                              : "passive";
-      return std::string(style) + "_n" + std::to_string(info.param.servers) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<StackParam>& param_info) {
+      const char* style = param_info.param.style == ReplicationStyle::kActive ? "active"
+                          : param_info.param.style == ReplicationStyle::kSemiActive
+                              ? "semiactive"
+                              : "passive";
+      return std::string(style) + "_n" + std::to_string(param_info.param.servers) + "_s" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

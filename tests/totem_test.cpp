@@ -366,6 +366,116 @@ TEST(TotemCancelTest, CancelAfterSendFails) {
   EXPECT_EQ(c.delivered[1].size(), 1u);
 }
 
+// --- Malformed-packet robustness -----------------------------------------------
+//
+// An attacker (or a flaky NIC) can put arbitrary datagrams on the wire; the
+// envelope check must reject them before any field is parsed, and a valid
+// envelope around a truncated body must fail through BytesReader's explicit
+// CodecError path — never an out-of-bounds read.
+
+// FNV-1a over data[from..), mirroring the sealed-envelope checksum so the
+// tests can forge packets with a *valid* envelope but a malformed body.
+std::uint32_t test_fnv1a(const Bytes& data, std::size_t from) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = from; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+Bytes forge_sealed(const Bytes& body) {
+  constexpr std::uint32_t kMagic = 0x544f544d;  // "TOTM"
+  Bytes packet(8, 0);
+  store_u32le(packet.data(), kMagic);
+  packet.insert(packet.end(), body.begin(), body.end());
+  store_u32le(packet.data() + 4, test_fnv1a(packet, 8));
+  return packet;
+}
+
+struct InjectionFixture {
+  Cluster c{3};
+  const NodeId injector{99};
+
+  InjectionFixture() {
+    c.start_all();
+    EXPECT_TRUE(c.converge());
+    c.net.attach(injector, [](NodeId, const Bytes&) {});
+  }
+
+  void inject(const Bytes& packet) {
+    for (std::uint32_t i = 0; i < 3; ++i) c.net.send(injector, NodeId{i}, packet);
+    c.sim.run_for(10'000);
+  }
+
+  /// The ring must still form, order, and deliver after the injection.
+  void expect_ring_still_healthy() {
+    const auto before = c.delivered[1].size();
+    c.nodes[0]->multicast(msg("still-alive"));
+    c.sim.run_for(100'000);
+    ASSERT_EQ(c.delivered[1].size(), before + 1);
+    EXPECT_EQ(c.delivered[1].back(), "still-alive");
+    for (auto& n : c.nodes) EXPECT_EQ(n->state(), TotemNode::State::kOperational);
+  }
+};
+
+TEST(TotemRobustnessTest, ShortPacketsAreRejected) {
+  InjectionFixture f;
+  f.inject(Bytes{});                    // empty datagram
+  f.inject(Bytes{0x4d});                // 1 byte
+  f.inject(Bytes{1, 2, 3, 4, 5, 6, 7});  // 7 bytes: one short of the envelope
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, ForeignMagicIsRejected) {
+  InjectionFixture f;
+  Bytes junk(64, 0xab);  // plausible length, wrong magic
+  f.inject(junk);
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, BitFlippedPacketFailsTheChecksum) {
+  InjectionFixture f;
+  Bytes packet = forge_sealed(msg("payload-bytes"));
+  packet.back() ^= 0x01;  // corrupt one bit of the body
+  f.inject(packet);
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, ValidEnvelopeTruncatedBodyIsDropped) {
+  InjectionFixture f;
+  // Correctly sealed packets whose bodies lie about their contents: a bare
+  // mcast type byte with no fields, and an mcast whose payload length prefix
+  // claims far more bytes than follow.  Both must die in CodecError, not UB.
+  f.inject(forge_sealed(Bytes{2}));  // MsgType::kMcast, then nothing
+  BytesWriter w;
+  w.u8(2);          // kMcast
+  w.u64(1);         // ring_id
+  w.u64(5);         // seq
+  w.u32(0);         // sender
+  w.boolean(false); // recovery
+  w.u8(0);          // delivery class
+  w.u32(100'000);   // payload length prefix with no payload behind it
+  f.inject(forge_sealed(std::move(w).take()));
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, TruncatedTokenDoesNotStallTheRing) {
+  InjectionFixture f;
+  // A sealed token whose rtr count is huge but whose body ends immediately.
+  BytesWriter w;
+  w.u8(1);                // kToken
+  w.u64(1);               // ring_id
+  w.u64(999);             // token_seq
+  w.u64(0);               // seq
+  w.u64(0);               // aru
+  w.u32(0);               // aru_setter
+  w.u32(0);               // fcc
+  w.u32(0xffffffffu);     // rtr count: lies
+  f.inject(forge_sealed(std::move(w).take()));
+  f.expect_ring_still_healthy();
+}
+
 TEST(TotemStatsTest, TokensCirculateWhileIdle) {
   Cluster c(4);
   c.start_all();
@@ -492,10 +602,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(OrderParam{2, 0.0, 1}, OrderParam{3, 0.0, 2}, OrderParam{5, 0.0, 3},
                       OrderParam{8, 0.0, 4}, OrderParam{3, 0.02, 5}, OrderParam{4, 0.05, 6},
                       OrderParam{5, 0.02, 7}, OrderParam{4, 0.08, 8}),
-    [](const ::testing::TestParamInfo<OrderParam>& info) {
-      return "n" + std::to_string(info.param.nodes) + "_loss" +
-             std::to_string(static_cast<int>(info.param.loss * 100)) + "_s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<OrderParam>& param_info) {
+      return "n" + std::to_string(param_info.param.nodes) + "_loss" +
+             std::to_string(static_cast<int>(param_info.param.loss * 100)) + "_s" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace

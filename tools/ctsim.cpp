@@ -119,7 +119,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--loss") o.loss = std::stod(need(i));
     else if (a == "--clock-offset") o.max_clock_offset_us = parse_time(need(i));
     else if (a == "--clock-drift") o.max_drift_ppm = std::stod(need(i));
-    else if (a == "--checkpoint-every") o.checkpoint_every = std::stoul(need(i));
+    else if (a == "--checkpoint-every") o.checkpoint_every = static_cast<std::uint32_t>(std::stoul(need(i)));
     else if (a == "--drift") {
       const auto v = need(i);
       if (v == "none") o.drift = ccs::DriftCompensation::kNone;
@@ -130,7 +130,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--reference-gain") o.reference_gain = std::stod(need(i));
     else if (a == "--crash") o.faults.push_back(parse_fault(FaultEvent::Kind::kCrash, need(i), argv[0]));
     else if (a == "--recover") o.faults.push_back(parse_fault(FaultEvent::Kind::kRecover, need(i), argv[0]));
-    else if (a == "--shards") o.shards = std::stoul(need(i));
+    else if (a == "--shards") o.shards = static_cast<std::uint32_t>(std::stoul(need(i)));
     else if (a == "--durable") o.durable = true;
     else if (a == "--kv") o.kv = true;
     else if (a == "--metrics-json") o.metrics_json = need(i);

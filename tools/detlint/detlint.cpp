@@ -1,0 +1,448 @@
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace detlint {
+namespace {
+
+// --- Path classification ------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Protocol layers where iteration order and container choice are part of
+/// the replicated state machine's determinism contract.
+bool in_protocol_layer(const std::string& path) {
+  static const char* kLayers[] = {"src/net/",  "src/sim/",         "src/totem/",
+                                  "src/gcs/",  "src/replication/", "src/cts/"};
+  for (const char* l : kLayers) {
+    if (starts_with(path, l)) return true;
+  }
+  return false;
+}
+
+/// src/obs export paths may stamp real timestamps on exported artifacts.
+bool wall_clock_exempt(const std::string& path) { return starts_with(path, "src/obs/"); }
+
+/// The seeded deterministic RNG implementation itself.
+bool rng_home(const std::string& path) { return starts_with(path, "src/common/rng"); }
+
+/// The one audited byte-punning site (fixed-width little-endian codec).
+bool bytes_home(const std::string& path) { return path == "src/common/bytes.hpp"; }
+
+// --- Line splitting & comment/string stripping --------------------------------
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// One source line split into the analyzable code text (string/char literal
+/// contents and comments blanked with spaces, so offsets are preserved) and
+/// the concatenated comment text (where suppressions live).
+struct StrippedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Comment-aware stripper.  `in_block` carries /* ... */ state across
+/// lines.  Escape sequences inside literals are honored; raw strings are
+/// not (the repo style avoids them, and a raw string would at worst blank
+/// too little, never invent code text).
+StrippedLine strip_line(const std::string& line, bool& in_block) {
+  StrippedLine out;
+  out.code.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (in_block) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block = false;
+        out.code += "  ";
+        i += 2;
+      } else {
+        out.comment.push_back(line[i]);
+        out.code.push_back(' ');
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      out.comment.append(line, i + 2, std::string::npos);
+      out.code.append(line.size() - i, ' ');
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      out.code += "  ";
+      i += 2;
+      continue;
+    }
+    // A ' between digits is a C++14 digit separator (5'000), not a char
+    // literal — the repo uses them pervasively for durations.
+    if (c == '\'' && i > 0 && std::isdigit(static_cast<unsigned char>(line[i - 1])) != 0 &&
+        i + 1 < line.size() && std::isdigit(static_cast<unsigned char>(line[i + 1])) != 0) {
+      out.code.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.code.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          out.code.push_back(quote);
+          ++i;
+          break;
+        }
+        out.code.push_back(' ');
+        ++i;
+      }
+      continue;
+    }
+    out.code.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+// --- Suppressions --------------------------------------------------------------
+
+struct Suppression {
+  int comment_line = 0;  // 1-based line the allow-comment sits on
+  int target_line = 0;   // line the suppression covers (first code line at/below)
+  std::set<std::string> rules;
+  bool justified = false;
+  bool used = false;
+};
+
+bool has_code(const StrippedLine& l) {
+  return l.code.find_first_not_of(" \t") != std::string::npos;
+}
+
+/// Parse every `detlint:allow(rule[,rule...]) <justification>` in the
+/// comment text of `lines`.
+std::vector<Suppression> collect_suppressions(const std::vector<StrippedLine>& lines) {
+  static const std::regex re(R"(detlint:allow\(([A-Za-z0-9_, \t-]+)\))");
+  std::vector<Suppression> sups;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& comment = lines[i].comment;
+    std::smatch m;
+    if (!std::regex_search(comment, m, re)) continue;
+    Suppression s;
+    s.comment_line = static_cast<int>(i + 1);
+    // A trailing comment covers its own line; a standalone comment covers
+    // the first code line below it (skipping the rest of the comment
+    // block), so multi-line justifications work.
+    s.target_line = s.comment_line;
+    if (!has_code(lines[i])) {
+      for (std::size_t j = i + 1; j < lines.size() && j < i + 8; ++j) {
+        if (has_code(lines[j])) {
+          s.target_line = static_cast<int>(j + 1);
+          break;
+        }
+      }
+    }
+    std::stringstream ss(m[1].str());
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) s.rules.insert(rule.substr(b, e - b + 1));
+    }
+    // Justification: any word characters after the closing parenthesis.
+    const std::string rest = m.suffix().str();
+    s.justified = std::any_of(rest.begin(), rest.end(),
+                              [](unsigned char c) { return std::isalnum(c) != 0; });
+    sups.push_back(std::move(s));
+  }
+  return sups;
+}
+
+bool covers(const Suppression& s, const std::string& rule, int line) {
+  return (line == s.comment_line || line == s.target_line) && s.rules.count(rule) > 0;
+}
+
+// --- Rules ---------------------------------------------------------------------
+
+struct RegexRule {
+  const char* name;
+  Severity severity;
+  std::regex pattern;
+  const char* message;
+  bool (*applies)(const std::string& path);
+};
+
+const std::vector<RegexRule>& regex_rules() {
+  // NOTE: std::regex (ECMAScript) has no lookbehind; patterns that must not
+  // match member access or identifier suffixes anchor on `(^|[^\w.>])`.
+  static const std::vector<RegexRule> rules = {
+      {"unordered-container", Severity::kError,
+       std::regex(R"(std::\s*unordered_(map|set|multimap|multiset)\b)"),
+       "unordered container in a protocol layer: iteration order is not deterministic; "
+       "use std::map/std::set or a sorted vector, or suppress with a justification if the "
+       "container is never iterated",
+       [](const std::string& p) { return in_protocol_layer(p); }},
+      {"wall-clock", Severity::kError,
+       std::regex(R"((^|[^\w.>])(std::chrono::)?(system_clock|steady_clock|high_resolution_clock)\b)"),
+       "wall-clock read outside src/obs export paths: real time in a simulated run breaks "
+       "seed-replayability; read the simulator or the CCS facade instead",
+       [](const std::string& p) { return !wall_clock_exempt(p); }},
+      {"wall-clock", Severity::kError,
+       std::regex(R"((^|[^\w.>])(gettimeofday|clock_gettime|ftime)\s*\()"),
+       "OS time syscall outside src/obs export paths: route time through the simulated "
+       "TimeSyscalls facade",
+       [](const std::string& p) { return !wall_clock_exempt(p); }},
+      {"wall-clock", Severity::kError,
+       std::regex(R"((^|[^\w.>])time\s*\(\s*(\)|NULL\b|nullptr\b|0\s*[,\)]|&))"),
+       "time() call outside src/obs export paths: route time through the simulated "
+       "TimeSyscalls facade",
+       [](const std::string& p) { return !wall_clock_exempt(p); }},
+      {"raw-random", Severity::kError,
+       std::regex(
+           R"((^|[^\w.>])(std::\s*rand\b|srand\s*\(|rand\s*\(\s*\)|random_device\b|mt19937(_64)?\b|default_random_engine\b|minstd_rand0?\b))"),
+       "nondeterministic randomness outside src/common/rng: every draw must flow from the "
+       "seeded cts::Rng so runs replay from a seed",
+       [](const std::string& p) { return !rng_home(p); }},
+      {"type-pun", Severity::kError,
+       std::regex(R"((^|[^\w.>])(reinterpret_cast\b|memcpy\s*\(|memmove\s*\())"),
+       "raw type-punning outside src/common/bytes.hpp: byte-level codecs are centralized in "
+       "the audited BytesWriter/BytesReader (use load_u32le/store_u32le)",
+       [](const std::string& p) { return !bytes_home(p); }},
+      {"float-compare", Severity::kError,
+       std::regex(R"([=!]=\s*[-+]?(\d+\.\d*|\.\d+)([fFlL]\b)?)"),
+       "exact floating-point equality: clock arithmetic must not branch on float ==/!=; "
+       "compare against an integer representation or an epsilon",
+       [](const std::string&) { return true; }},
+      {"float-compare", Severity::kError,
+       std::regex(R"((\d+\.\d*|\.\d+)[fFlL]?\s*[=!]=)"),
+       "exact floating-point equality: clock arithmetic must not branch on float ==/!=; "
+       "compare against an integer representation or an epsilon",
+       [](const std::string&) { return true; }},
+      {"pointer-key", Severity::kError,
+       std::regex(R"(std::\s*(map|set|multimap|multiset)\s*<[^,<>]*\*\s*[,>])"),
+       "pointer-keyed ordered container: pointer order is allocation order, which differs "
+       "across runs; key by a stable id instead",
+       [](const std::string& p) { return in_protocol_layer(p); }},
+      {"pointer-key", Severity::kWarning,
+       std::regex(R"(std::\s*(map|set|multimap|multiset)\s*<[^,<>]*\*\s*[,>])"),
+       "pointer-keyed ordered container outside protocol layers: iteration order follows "
+       "allocation order; avoid feeding it into any output or decision",
+       [](const std::string& p) { return !in_protocol_layer(p); }},
+  };
+  return rules;
+}
+
+// --- side-effect-assert (needs balanced-paren extraction) ----------------------
+
+/// Does `arg` (the text between assert's parentheses) mutate state?
+bool has_side_effect(const std::string& arg) {
+  static const std::regex inc_dec(R"(\+\+|--)");
+  static const std::regex mutating_call(
+      R"((\.|->)\s*(insert|erase|emplace\w*|push_back|push_front|pop_back|pop_front|clear|reset|assign|swap)\s*\()");
+  // Plain or compound assignment: '=' not part of ==, !=, <=, >= and not
+  // preceded by a comparison char; compound (+=, -=, ...) counts too.
+  static const std::regex assign(R"(([^=!<>\s]\s*|[+\-*/%&|^])=([^=]|$))");
+  if (std::regex_search(arg, inc_dec)) return true;
+  if (std::regex_search(arg, mutating_call)) return true;
+  std::smatch m;
+  std::string::const_iterator it = arg.begin();
+  while (std::regex_search(it, arg.cend(), m, assign)) {
+    const std::string pre = m[1].str();
+    const char last = pre.empty() ? '\0' : pre[0];
+    if (last == '+' || last == '-' || last == '*' || last == '/' || last == '%' ||
+        last == '&' || last == '|' || last == '^') {
+      return true;  // compound assignment
+    }
+    if (last != '<' && last != '>' && last != '!' && last != '=') return true;
+    it = m[0].second;
+  }
+  return false;
+}
+
+void check_asserts(const std::string& path, const std::vector<StrippedLine>& lines,
+                   std::vector<Finding>& findings) {
+  static const std::regex assert_re(R"((^|[^\w.>])assert\s*\()");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    const std::string& code = lines[i].code;
+    if (!std::regex_search(code, m, assert_re)) continue;
+    // Extract the balanced argument, joining at most 6 physical lines.
+    std::string arg;
+    int depth = 0;
+    bool started = false, closed = false;
+    std::size_t pos = static_cast<std::size_t>(m.position(0)) + m[0].length() - 1;
+    for (std::size_t l = i; l < lines.size() && l < i + 6 && !closed; ++l) {
+      const std::string& text = lines[l].code;
+      for (std::size_t k = (l == i ? pos : 0); k < text.size(); ++k) {
+        if (text[k] == '(') {
+          ++depth;
+          started = true;
+          if (depth == 1) continue;
+        } else if (text[k] == ')') {
+          --depth;
+          if (started && depth == 0) {
+            closed = true;
+            break;
+          }
+        }
+        if (started && depth >= 1) arg.push_back(text[k]);
+      }
+      arg.push_back(' ');
+    }
+    if (has_side_effect(arg)) {
+      findings.push_back(Finding{
+          path, static_cast<int>(i + 1), "side-effect-assert", Severity::kError,
+          "assert() argument mutates state: the mutation vanishes under NDEBUG, so Release "
+          "and Debug replicas diverge; hoist the side effect out of the assert"});
+    }
+  }
+}
+
+}  // namespace
+
+// --- Public API -----------------------------------------------------------------
+
+std::vector<Finding> lint_content(const std::string& path, const std::string& content) {
+  const std::vector<std::string> raw = split_lines(content);
+  std::vector<StrippedLine> lines;
+  lines.reserve(raw.size());
+  bool in_block = false;
+  for (const std::string& l : raw) lines.push_back(strip_line(l, in_block));
+
+  std::vector<Suppression> sups = collect_suppressions(lines);
+
+  std::vector<Finding> findings;
+  for (const RegexRule& rule : regex_rules()) {
+    if (!rule.applies(path)) continue;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(lines[i].code, rule.pattern)) {
+        findings.push_back(
+            Finding{path, static_cast<int>(i + 1), rule.name, rule.severity, rule.message});
+      }
+    }
+  }
+  check_asserts(path, lines, findings);
+
+  // Deduplicate (two wall-clock patterns can hit one line) before applying
+  // suppressions, so one allow() accounts for one diagnostic.
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.rule == b.rule;
+                             }),
+                 findings.end());
+
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    bool suppressed = false;
+    for (Suppression& s : sups) {
+      if (covers(s, f.rule, f.line)) {
+        s.used = true;
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+
+  for (const Suppression& s : sups) {
+    if (!s.justified) {
+      kept.push_back(Finding{path, s.comment_line, "bare-suppression", Severity::kError,
+                             "detlint:allow() without a justification: state why the hazard "
+                             "does not apply after the closing parenthesis"});
+    }
+    if (!s.used) {
+      kept.push_back(Finding{path, s.comment_line, "unused-suppression", Severity::kWarning,
+                             "detlint:allow() suppresses nothing on this or the next line: "
+                             "the hazard was fixed or moved, delete the stale comment"});
+    }
+  }
+
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return kept;
+}
+
+std::vector<Finding> lint_tree(const std::string& root, const std::vector<std::string>& subdirs,
+                               std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh"};
+
+  std::vector<fs::path> files;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = fs::path(root) / sub;
+    if (!fs::exists(dir)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir); it != fs::recursive_directory_iterator();
+         ++it) {
+      const fs::path& p = it->path();
+      const std::string name = p.filename().string();
+      if (it->is_directory() && (name == ".git" || starts_with(name, "build"))) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && kExts.count(p.extension().string()) > 0) files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files_scanned) *files_scanned = files.size();
+
+  std::vector<Finding> all;
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string rel = fs::path(p).lexically_relative(root).generic_string();
+    std::vector<Finding> fs_ = lint_content(rel, ss.str());
+    all.insert(all.end(), fs_.begin(), fs_.end());
+  }
+  return all;
+}
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream out;
+  out << f.file << ":" << f.line << ": "
+      << (f.severity == Severity::kError ? "error" : "warning") << ": " << f.message << " ["
+      << f.rule << "]";
+  return out.str();
+}
+
+int exit_code(const std::vector<Finding>& findings) {
+  int code = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == Severity::kError) return 2;
+    code = 1;
+  }
+  return code;
+}
+
+}  // namespace detlint

@@ -1,0 +1,77 @@
+// detlint — determinism & protocol-invariant static analysis for this repo.
+//
+// The whole reproduction rests on the simulation being bit-deterministic:
+// CCS renders clock reads consistent only because every replica sees the
+// same totally-ordered events, and the trace-based tests assume identical
+// seeds yield identical traces.  detlint is the build-time guard for that
+// property: a line-oriented scanner (comment- and string-literal-aware,
+// deliberately not a full C++ front end) that flags the hazard classes
+// which historically break reproducibility after the fact:
+//
+//   unordered-container   iteration over std::unordered_{map,set} in a
+//                         protocol layer (src/net, src/sim, src/totem,
+//                         src/gcs, src/replication, src/cts) — hash-map
+//                         iteration order is not part of the protocol state
+//                         and silently varies across library versions.
+//   wall-clock            system_clock / steady_clock / gettimeofday() /
+//                         time() / clock_gettime() / ftime() anywhere
+//                         outside src/obs export paths — real time leaking
+//                         into a simulated run destroys replayability.
+//   raw-random            std::rand, srand, random_device, mt19937 outside
+//                         src/common/rng — all randomness must flow from
+//                         the seeded, forkable Rng.
+//   side-effect-assert    assert(...) whose argument mutates state: the
+//                         mutation vanishes under NDEBUG, so Release and
+//                         Debug replicas diverge.
+//   type-pun              reinterpret_cast / memcpy / memmove outside
+//                         src/common/bytes.hpp — byte-level punning is
+//                         centralized in the one audited codec.
+//   float-compare         == / != against floating-point literals — exact
+//                         float equality in clock arithmetic is
+//                         platform-dependent.
+//   pointer-key           std::map/std::set keyed by a pointer type —
+//                         pointer order is allocation order, i.e.
+//                         nondeterministic across runs.
+//
+// Suppression: a finding is silenced by `detlint:allow(<rule>[,<rule>...])`
+// in a comment on the same line or the line directly above, and the
+// suppression MUST carry a justification after the closing parenthesis,
+// e.g. a trailing `: simulated syscall facade, reads the group clock`.
+// Bare or unused suppressions are themselves findings, so stale allows
+// cannot accumulate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+enum class Severity { kWarning, kError };
+
+struct Finding {
+  std::string file;  // repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Lint `content` as if it lived at repo-relative `path` (forward slashes;
+/// layer-scoped rules key off the path prefix).  Findings are ordered by
+/// line number.
+std::vector<Finding> lint_content(const std::string& path, const std::string& content);
+
+/// Recursively lint every C++ source (.cpp/.cc/.cxx/.hpp/.h/.hh) under
+/// root/<subdir> for each listed subdir, skipping build trees and .git.
+/// Findings carry root-relative paths; file order (and therefore output
+/// order) is sorted, so the tool's own output is deterministic.
+std::vector<Finding> lint_tree(const std::string& root, const std::vector<std::string>& subdirs,
+                               std::size_t* files_scanned = nullptr);
+
+/// GCC-style one-line rendering: "path:line: severity: message [rule]".
+[[nodiscard]] std::string format_finding(const Finding& f);
+
+/// Severity-ranked exit code: 0 = clean, 1 = warnings only, 2 = errors.
+[[nodiscard]] int exit_code(const std::vector<Finding>& findings);
+
+}  // namespace detlint

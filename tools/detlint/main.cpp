@@ -1,0 +1,64 @@
+// detlint CLI — scan the repository for determinism/protocol-invariant
+// hazards.  Run as a CTest and as a CI gate; exit code is severity-ranked
+// (0 clean, 1 warnings only, 2 errors), so `detlint --root .` doubles as a
+// pass/fail check.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: detlint [--root DIR] [--quiet] [subdir...]\n"
+      "\n"
+      "Scans C++ sources under DIR (default: current directory) for\n"
+      "determinism and protocol-invariant hazards.  Default subdirs:\n"
+      "src tools tests bench examples.  See doc/STATIC_ANALYSIS.md for the\n"
+      "rule catalogue and the detlint:allow(<rule>) suppression syntax.\n"
+      "\n"
+      "exit code: 0 = clean, 1 = warnings only, 2 = errors\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool quiet = false;
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown option '%s'\n", a.c_str());
+      usage();
+      return 2;
+    } else {
+      subdirs.push_back(a);
+    }
+  }
+  if (subdirs.empty()) subdirs = {"src", "tools", "tests", "bench", "examples"};
+
+  std::size_t files = 0;
+  const std::vector<detlint::Finding> findings = detlint::lint_tree(root, subdirs, &files);
+
+  std::size_t errors = 0, warnings = 0;
+  for (const detlint::Finding& f : findings) {
+    (f.severity == detlint::Severity::kError ? errors : warnings) += 1;
+    std::printf("%s\n", detlint::format_finding(f).c_str());
+  }
+  if (!quiet) {
+    std::printf("detlint: scanned %zu files: %zu error%s, %zu warning%s\n", files, errors,
+                errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s");
+  }
+  return detlint::exit_code(findings);
+}
