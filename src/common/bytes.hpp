@@ -6,17 +6,85 @@
 // would cross a real network.  Encoding is little-endian fixed-width.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cts {
 
 using Bytes = std::vector<std::uint8_t>;
+
+/// An immutable, refcounted view of a byte buffer.
+///
+/// The zero-copy payload type of the delivery path: a broadcast allocates
+/// its payload once and every receiver's in-flight packet shares it; a
+/// Totem multicast payload is an aliasing slice() of the sealed packet it
+/// arrived in.  Copying a SharedBytes bumps a refcount; the underlying
+/// buffer is freed when the last view drops.
+///
+/// Ownership rules (see doc/PERFORMANCE.md):
+///   * the wrapped buffer is immutable for the lifetime of every view —
+///     mutation paths (e.g. corruption injection) must materialize a fresh
+///     buffer (copy-on-write) rather than write through a view;
+///   * slice() aliases the parent buffer: it keeps the WHOLE parent alive,
+///     which is the right trade for packet payloads (packet and payload
+///     die together) but wrong for long-lived small slices of huge buffers
+///     — materialize with to_bytes() in that case.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  /// Wrap a buffer, taking ownership.  Implicit, so APIs migrated from
+  /// `const Bytes&` to `SharedBytes` keep accepting Bytes rvalues.
+  SharedBytes(Bytes b)  // NOLINT(google-explicit-constructor)
+      : owner_(std::make_shared<const Bytes>(std::move(b))),
+        data_(owner_->data()),
+        size_(owner_->size()) {}
+
+  /// Materialize an owning SharedBytes from any contiguous byte range.
+  static SharedBytes copy_of(std::span<const std::uint8_t> s) {
+    return SharedBytes(Bytes(s.begin(), s.end()));
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return {data_, size_}; }
+
+  const std::uint8_t& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] const std::uint8_t* begin() const { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const { return data_ + size_; }
+
+  /// Aliasing sub-view: shares (and keeps alive) the parent buffer.
+  /// `offset + len` must be within size().
+  [[nodiscard]] SharedBytes slice(std::size_t offset, std::size_t len) const {
+    SharedBytes out;
+    out.owner_ = owner_;
+    out.data_ = data_ + offset;
+    out.size_ = len;
+    return out;
+  }
+
+  /// Deep copy into a plain mutable buffer.
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  friend bool operator==(const SharedBytes& a, const SharedBytes& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::shared_ptr<const Bytes> owner_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
 
 /// Thrown by BytesReader when a read runs past the end of the buffer or a
 /// length prefix is inconsistent — i.e. the message is malformed.  Every
@@ -123,6 +191,11 @@ class BytesReader {
   /// Number of unread bytes remaining.
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  /// Current read offset from the start of the buffer this reader was
+  /// constructed over.  Lets zero-copy consumers convert "where the reader
+  /// is" into a SharedBytes::slice() of the enclosing packet.
+  [[nodiscard]] std::size_t pos() const { return pos_; }
 
  private:
   void require(std::size_t n) const {

@@ -35,7 +35,7 @@ bool is_control(MsgType t) { return t == MsgType::kGroupJoin || t == MsgType::kG
 GcsEndpoint::GcsEndpoint(sim::Simulator& sim, totem::TotemNode& totem)
     : sim_(sim), totem_(totem) {
   totem_.set_deliver_handler(
-      [this](NodeId sender, const Bytes& data) { on_totem_deliver(sender, data); });
+      [this](NodeId sender, const SharedBytes& data) { on_totem_deliver(sender, data); });
   totem_.set_view_handler([this](const totem::View& v) { on_totem_view(v); });
 }
 
@@ -55,7 +55,7 @@ Bytes GcsEndpoint::encode(const Message& m) {
   return std::move(w).take();
 }
 
-Message GcsEndpoint::decode(const Bytes& b) {
+Message GcsEndpoint::decode(std::span<const std::uint8_t> b) {
   BytesReader r(b);
   Message m;
   m.hdr.type = static_cast<MsgType>(r.u8());
@@ -217,10 +217,10 @@ bool GcsEndpoint::cancel(std::uint64_t handle) {
 
 // --- Delivery path ----------------------------------------------------------------
 
-void GcsEndpoint::on_totem_deliver(NodeId /*sender*/, const Bytes& data) {
+void GcsEndpoint::on_totem_deliver(NodeId /*sender*/, const SharedBytes& data) {
   Message m;
   try {
-    m = decode(data);
+    m = decode(data.span());
   } catch (const CodecError& e) {
     CTS_WARN() << to_string(totem_.id()) << " dropped malformed GCS message: " << e.what();
     return;

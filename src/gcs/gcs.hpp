@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -163,8 +164,10 @@ class GcsEndpoint {
   void set_recorder(obs::Recorder* rec);
 
   /// Serialize / parse the header+payload wire format (exposed for tests).
+  /// decode() takes a span so both Bytes and zero-copy SharedBytes views
+  /// parse without materializing a copy first.
   static Bytes encode(const Message& m);
-  static Message decode(const Bytes& b);
+  static Message decode(std::span<const std::uint8_t> b);
 
  private:
   struct DedupKey {
@@ -174,7 +177,7 @@ class GcsEndpoint {
     friend auto operator<=>(const DedupKey&, const DedupKey&) = default;
   };
 
-  void on_totem_deliver(NodeId sender, const Bytes& data);
+  void on_totem_deliver(NodeId sender, const SharedBytes& data);
   void process_message(Message m);
   void on_fragment(const Message& frag);
   void on_totem_view(const totem::View& v);

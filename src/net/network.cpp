@@ -53,13 +53,18 @@ Micros Network::draw_hop_latency() {
   return cfg_.base_latency_us + static_cast<Micros>(std::llround(jitter));
 }
 
-void Network::deliver(NodeId src, NodeId dst, Bytes payload, Micros depart) {
+void Network::deliver(NodeId src, NodeId dst, SharedBytes payload, Micros depart) {
   // In-flight bit corruption: one random bit flips.  The RNG is only
   // touched when the knob is on, so default runs draw the same sequence
-  // as before the knob existed.
+  // as before the knob existed.  Corruption is copy-on-write: the shared
+  // buffer stays pristine for the other receivers of a broadcast, and the
+  // RNG draw order (chance, byte, bit) matches the in-place implementation
+  // this replaces.
   if (cfg_.corrupt_probability > 0 && !payload.empty() && rng_.chance(cfg_.corrupt_probability)) {
     const auto byte = static_cast<std::size_t>(rng_.below(payload.size()));
-    payload[byte] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    Bytes mutated = payload.to_bytes();
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    payload = SharedBytes(std::move(mutated));
     ++stats_.packets_corrupted;
     if (c_corrupted_) ++*c_corrupted_;
     if (rec_) {
@@ -91,7 +96,7 @@ void Network::drop(NodeId src, NodeId dst, std::size_t payload_size) {
   }
 }
 
-void Network::send(NodeId src, NodeId dst, const Bytes& payload) {
+void Network::send(NodeId src, NodeId dst, SharedBytes payload) {
   ++stats_.packets_sent;
   stats_.bytes_sent += payload.size();
   if (c_sent_) ++*c_sent_;
@@ -100,10 +105,10 @@ void Network::send(NodeId src, NodeId dst, const Bytes& payload) {
     drop(src, dst, payload.size());
     return;
   }
-  deliver(src, dst, payload, depart);
+  deliver(src, dst, std::move(payload), depart);
 }
 
-void Network::broadcast(NodeId src, const Bytes& payload) {
+void Network::broadcast(NodeId src, SharedBytes payload) {
   ++stats_.packets_sent;
   stats_.bytes_sent += payload.size();
   if (c_sent_) ++*c_sent_;

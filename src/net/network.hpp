@@ -58,8 +58,12 @@ struct NetworkStats {
 /// The broadcast domain connecting all simulated hosts.
 class Network {
  public:
-  /// Receive callback: (source node, payload bytes).
-  using Handler = std::function<void(NodeId, const Bytes&)>;
+  /// Receive callback: (source node, payload bytes).  The payload is a
+  /// refcounted view shared with every other receiver of the same
+  /// broadcast; handlers that keep it keep only the refcount.
+  // detlint:allow(heap-callback): bound once at attach(), never constructed
+  // on the per-packet path — only invoked there.
+  using Handler = std::function<void(NodeId, const SharedBytes&)>;
 
   Network(sim::Simulator& sim, NetworkConfig cfg)
       : sim_(sim), cfg_(cfg), rng_(sim.rng().fork()) {}
@@ -76,13 +80,16 @@ class Network {
   void set_down(NodeId node, bool down);
   [[nodiscard]] bool is_down(NodeId node) const;
 
-  /// Unicast `payload` from `src` to `dst`.
-  void send(NodeId src, NodeId dst, const Bytes& payload);
+  /// Unicast `payload` from `src` to `dst`.  Takes the payload by value:
+  /// a Bytes rvalue converts with a single move (no copy), and the
+  /// in-flight packet holds a refcount, not a duplicate buffer.
+  void send(NodeId src, NodeId dst, SharedBytes payload);
 
   /// Broadcast `payload` from `src` to every attached host except `src`.
-  /// (Totem multicasts regular messages; the sender delivers locally
-  /// without the network.)
-  void broadcast(NodeId src, const Bytes& payload);
+  /// The payload buffer is allocated once and shared by every receiver's
+  /// in-flight packet.  (Totem multicasts regular messages; the sender
+  /// delivers locally without the network.)
+  void broadcast(NodeId src, SharedBytes payload);
 
   /// Split the network into components; packets cross components only after
   /// heal().  Each node appears in at most one component; unlisted nodes
@@ -102,7 +109,7 @@ class Network {
   [[nodiscard]] bool reachable(NodeId src, NodeId dst) const;
   [[nodiscard]] Micros tx_departure(NodeId src, std::size_t payload_size);
   [[nodiscard]] Micros draw_hop_latency();
-  void deliver(NodeId src, NodeId dst, Bytes payload, Micros depart);
+  void deliver(NodeId src, NodeId dst, SharedBytes payload, Micros depart);
   void drop(NodeId src, NodeId dst, std::size_t payload_size);
 
   sim::Simulator& sim_;

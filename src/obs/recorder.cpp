@@ -7,7 +7,8 @@
 
 namespace cts::obs {
 
-std::string Recorder::summary() const {
+std::string Recorder::summary() {
+  sync_sim_stats();
   std::ostringstream out;
   out << metrics_.summary();
   std::map<std::string, std::size_t> tallies;
@@ -18,14 +19,16 @@ std::string Recorder::summary() const {
 }
 
 bool Recorder::export_files(const std::string& metrics_path,
-                            const std::string& trace_path) const {
+                            const std::string& trace_path) {
+  sync_sim_stats();
   bool ok = true;
   if (!metrics_path.empty()) ok = metrics_.write_json(metrics_path) && ok;
   if (!trace_path.empty()) ok = trace_.write_jsonl(trace_path) && ok;
   return ok;
 }
 
-int export_from_env(const Recorder& rec, const std::string& label) {
+int export_from_env(Recorder& rec, const std::string& label) {
+  rec.sync_sim_stats();
   int written = 0;
   auto emit = [&](const std::string& metrics_path, const std::string& trace_path) {
     // The variables are an explicit request to export, so a failed write

@@ -37,11 +37,22 @@ class Recorder {
   }
 
   /// Text summary of metrics plus per-kind trace tallies.
-  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string summary();
 
   /// Write metrics.json / trace.jsonl.  Empty path skips that file.
   /// Returns true if every requested write succeeded.
-  bool export_files(const std::string& metrics_path, const std::string& trace_path) const;
+  bool export_files(const std::string& metrics_path, const std::string& trace_path);
+
+  /// Pull the simulator's own statistics into the registry, so exports and
+  /// summaries carry the engine's view of the run:
+  ///   sim.events_executed (counter) — events fired since construction;
+  ///   sim.queue_depth (gauge)       — live pending events at export time.
+  /// Called by summary()/export_files(); cheap and idempotent.
+  void sync_sim_stats() {
+    metrics_.counter("sim.events_executed").value =
+        static_cast<std::int64_t>(sim_.events_executed());
+    metrics_.set_gauge("sim.queue_depth", static_cast<std::int64_t>(sim_.pending()));
+  }
 
  private:
   sim::Simulator& sim_;
@@ -56,7 +67,8 @@ class Recorder {
 ///   CTS_TRACE_JSONL=<path>   — write the trace to <path>
 /// Exact-path variables are meant for single-run tools; multi-run benches
 /// pass a distinct label per run and set CTS_OBS_DIR.  Returns the number
-/// of files written (0 when no variable is set).
-int export_from_env(const Recorder& rec, const std::string& label);
+/// of files written (0 when no variable is set).  Non-const: syncs the
+/// simulator's own stats into the registry before writing.
+int export_from_env(Recorder& rec, const std::string& label);
 
 }  // namespace cts::obs

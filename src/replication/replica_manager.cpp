@@ -58,6 +58,13 @@ ReplicaManager::ReplicaManager(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
 
 // --- Lifecycle -----------------------------------------------------------------
 
+ReplicaManager::~ReplicaManager() {
+  // Self-referential timers (GET_STATE retry, pump trampolines) may still
+  // be pending — e.g. Testbed::restart_server destroys the old manager
+  // mid-simulation.  They hold the token and bail out when it is false.
+  *alive_ = false;
+}
+
 void ReplicaManager::start() {
   recovering_ = false;
   gcs_.join_group(cfg_.group, cfg_.replica);
@@ -103,7 +110,8 @@ void ReplicaManager::send_get_state() {
   recovery_epoch_ = m.hdr.seq;
   gcs_.send(std::move(m));
 
-  sim_.after(kGetStateRetryUs, [this, epoch = recovery_epoch_] {
+  sim_.after(kGetStateRetryUs, [this, alive = alive_, epoch = recovery_epoch_] {
+    if (!*alive) return;
     if (recovering_ && recovery_epoch_ == epoch) {
       CTS_WARN() << "replica " << to_string(cfg_.replica)
                  << " state transfer timed out; re-issuing GET_STATE";
@@ -279,7 +287,9 @@ void ReplicaManager::process(std::uint32_t shard, PendingRequest req) {
     maybe_persist_after_request();
     // Trampoline through the event queue so long synchronous bursts do not
     // recurse.
-    sim_.after(0, [this, shard] { pump(shard); });
+    sim_.after(0, [this, alive = alive_, shard] {
+      if (*alive) pump(shard);
+    });
   });
 }
 
@@ -406,7 +416,9 @@ void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
       assert(sh.at_barrier && !sh.queue.empty());
       sh.queue.pop_front();
       sh.at_barrier = false;
-      sim_.after(0, [this, s] { pump(s); });
+      sim_.after(0, [this, alive = alive_, s] {
+        if (*alive) pump(s);
+      });
     }
   });
 }

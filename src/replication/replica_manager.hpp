@@ -104,6 +104,8 @@ class ReplicaManager {
   ReplicaManager(const ReplicaManager&) = delete;
   ReplicaManager& operator=(const ReplicaManager&) = delete;
 
+  ~ReplicaManager();
+
   /// Join the group as a fresh member (initial startup, empty state).
   void start();
 
@@ -202,6 +204,13 @@ class ReplicaManager {
 
   ManagerStats stats_;
   obs::Recorder* rec_ = nullptr;
+
+  // Liveness token captured by the manager's self-referential timers (the
+  // GET_STATE retry and the pump trampolines).  Testbed::restart_server
+  // destroys a manager while such timers are still pending; they fire on
+  // schedule (so the deterministic event sequence is unchanged) but bail
+  // out instead of touching the freed object.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace cts::replication

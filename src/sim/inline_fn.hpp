@@ -1,0 +1,234 @@
+// InlineFn: the simulator's event-callback type.
+//
+// A move-only type-erased callable with 48 bytes of inline storage — sized
+// for the real hot-path closures (a network delivery captures this + src +
+// dst + a 32-byte SharedBytes handle = 48 bytes) so scheduling an event
+// performs no allocation.  std::function, by contrast, spills anything past
+// its ~16-byte small-buffer onto the heap, which made every scheduled
+// delivery a malloc/free pair.
+//
+// Captures larger than the inline buffer (e.g. a Totem token-forward
+// closure carrying a whole Token) fall back to a thread-local size-classed
+// free-list pool, so even the oversize path settles into pointer-swap cost
+// after warm-up instead of hitting the general-purpose allocator per event.
+//
+// Deliberately NOT implemented with memcpy/reinterpret_cast: the repo's
+// detlint type-pun rule centralizes byte punning in src/common/bytes.hpp,
+// so relocation here is placement-new move-construction + explicit
+// destructor calls, which is also what non-trivially-copyable captures
+// (shared_ptr, coroutine handles) require for correctness anyway.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cts::sim {
+
+namespace detail {
+
+/// Thread-local free-list pool for oversize callback captures.  Three size
+/// classes cover every closure the protocol stack creates today; anything
+/// larger goes straight to operator new.  Blocks are recycled LIFO (the
+/// hottest block is reused first) and capped per class so a burst cannot
+/// pin memory forever.
+class FnPool {
+ public:
+  static constexpr std::size_t kClassSizes[3] = {64, 128, 256};
+  static constexpr std::size_t kMaxFreePerClass = 64;
+
+  static FnPool& instance() {
+    thread_local FnPool pool;
+    return pool;
+  }
+
+  void* allocate(std::size_t n) {
+    const int c = class_of(n);
+    if (c < 0) return ::operator new(n);
+    auto& list = free_[static_cast<std::size_t>(c)];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      return p;
+    }
+    return ::operator new(kClassSizes[static_cast<std::size_t>(c)]);
+  }
+
+  void release(void* p, std::size_t n) noexcept {
+    const int c = class_of(n);
+    if (c < 0) {
+      ::operator delete(p);
+      return;
+    }
+    auto& list = free_[static_cast<std::size_t>(c)];
+    if (list.size() >= kMaxFreePerClass) {
+      ::operator delete(p);
+      return;
+    }
+    list.push_back(p);
+  }
+
+  ~FnPool() {
+    for (auto& list : free_) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+
+ private:
+  static int class_of(std::size_t n) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (n <= kClassSizes[i]) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::vector<void*> free_[3];
+};
+
+}  // namespace detail
+
+/// Move-only `void()` callable with small-buffer-optimized storage.
+class InlineFn {
+ public:
+  /// Inline capture budget: fits the network delivery closure exactly.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adapter
+    construct<F, D>(std::forward<F>(f));
+  }
+
+  /// Destroy the current callable (if any) and construct `f` in place.  The
+  /// EventHeap uses this to build the callback directly inside its slot,
+  /// skipping the type-erased relocation a construct-then-move-assign pair
+  /// would pay per scheduled event.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
+    construct<F, D>(std::forward<F>(f));
+  }
+
+  /// emplace() from an already-erased InlineFn: plain move-assignment.
+  void emplace(InlineFn&& other) noexcept { *this = std::move(other); }
+
+  InlineFn(InlineFn&& other) noexcept { take_from(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take_from(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  void operator()() { vt_->invoke(*this); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(*this);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(InlineFn& self);
+    // Move `src`'s callable into the empty `dst`; leaves `src` disengaged.
+    void (*relocate)(InlineFn& dst, InlineFn& src) noexcept;
+    void (*destroy)(InlineFn& self) noexcept;
+  };
+
+  union Storage {
+    alignas(kInlineAlign) std::byte buf[kInlineSize];
+    void* heap;
+  };
+
+  void* inline_ptr() noexcept { return static_cast<void*>(storage_.buf); }
+
+  template <typename F, typename D>
+  void construct(F&& f) {
+    // Inline placement requires a nothrow move so relocation (vector growth
+    // inside EventHeap) can be noexcept; throwing-move callables are rare
+    // and simply take the pooled path.
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (inline_ptr()) D(std::forward<F>(f));
+      vt_ = &kInlineVTable<D>;
+    } else {
+      void* p = detail::FnPool::instance().allocate(sizeof(D));
+      try {
+        ::new (p) D(std::forward<F>(f));
+      } catch (...) {
+        detail::FnPool::instance().release(p, sizeof(D));
+        throw;
+      }
+      storage_.heap = p;
+      vt_ = &kHeapVTable<D>;
+    }
+  }
+
+  void take_from(InlineFn& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(*this, other);
+      other.vt_ = nullptr;
+    }
+  }
+
+  template <typename D>
+  struct InlineOps {
+    static D* get(InlineFn& self) noexcept {
+      return std::launder(static_cast<D*>(self.inline_ptr()));
+    }
+    static void invoke(InlineFn& self) { (*get(self))(); }
+    static void relocate(InlineFn& dst, InlineFn& src) noexcept {
+      D* s = get(src);
+      ::new (dst.inline_ptr()) D(std::move(*s));
+      s->~D();
+    }
+    static void destroy(InlineFn& self) noexcept { get(self)->~D(); }
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* get(InlineFn& self) noexcept { return static_cast<D*>(self.storage_.heap); }
+    static void invoke(InlineFn& self) { (*get(self))(); }
+    static void relocate(InlineFn& dst, InlineFn& src) noexcept {
+      dst.storage_.heap = src.storage_.heap;
+    }
+    static void destroy(InlineFn& self) noexcept {
+      get(self)->~D();
+      detail::FnPool::instance().release(self.storage_.heap, sizeof(D));
+    }
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVTable{&InlineOps<D>::invoke, &InlineOps<D>::relocate,
+                                        &InlineOps<D>::destroy};
+  template <typename D>
+  static constexpr VTable kHeapVTable{&HeapOps<D>::invoke, &HeapOps<D>::relocate,
+                                      &HeapOps<D>::destroy};
+
+  const VTable* vt_ = nullptr;
+  Storage storage_;
+};
+
+}  // namespace cts::sim

@@ -6,9 +6,16 @@
 // total — same seed, same schedule, same results — which is what makes the
 // agreement/monotonicity property tests meaningful.
 //
+// The queue is an EventHeap (indexed binary heap + slot map): scheduling is
+// allocation-free for hot-path closures (InlineFn keeps captures up to 48
+// bytes inline), cancel() removes entries in place instead of leaving
+// tombstones, and reschedule() re-keys a live timer without a cancel+insert
+// pair.  Ordering is a strict total order on (time, seq), so the schedule
+// is byte-identical to the previous priority_queue implementation.
+//
 // Two programming models are supported:
-//   * callback timers (`at` / `after` / `cancel`) — used by protocol code
-//     (Totem token timeouts, retransmission timers);
+//   * callback timers (`at` / `after` / `cancel` / `reschedule`) — used by
+//     protocol code (Totem token timeouts, retransmission timers);
 //   * C++20 coroutines (`co_await sim.delay(d)`, `co_await signal.wait()`) —
 //     used by application-level logical threads, which in the paper block in
 //     get_grp_clock_time() until the first CCS message of the round arrives.
@@ -18,13 +25,13 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/event_heap.hpp"
+#include "sim/inline_fn.hpp"
 
 namespace cts::sim {
 
@@ -48,9 +55,11 @@ struct Task {
 /// The event queue and simulated clock.
 class Simulator {
  public:
-  using EventFn = std::function<void()>;
+  using EventFn = InlineFn;
 
-  /// Handle for cancelling a scheduled callback.
+  /// Handle for cancelling or rescheduling a scheduled callback.  A
+  /// default-constructed EventId is never valid; a fired or cancelled id
+  /// goes stale (its slot generation moves on) and is safely rejected.
   struct EventId {
     std::uint64_t id = 0;
   };
@@ -60,41 +69,49 @@ class Simulator {
   /// Current simulated time in microseconds since simulation start.
   [[nodiscard]] Micros now() const { return now_; }
 
-  /// Schedule `fn` at absolute simulated time `t` (>= now).
-  EventId at(Micros t, EventFn fn) {
+  /// Schedule `fn` at absolute simulated time `t` (>= now).  The callable
+  /// is forwarded all the way into the event heap's slot, so hot-path
+  /// closures are constructed exactly once and never relocated.
+  template <typename F>
+  EventId at(Micros t, F&& fn) {
     assert(t >= now_);
-    const std::uint64_t id = next_id_++;
-    queue_.push(Entry{t, seq_++, id, std::move(fn)});
-    ++pending_;
-    return EventId{id};
+    return EventId{heap_.push(t, seq_++, std::forward<F>(fn))};
   }
 
   /// Schedule `fn` after `delay` microseconds.
-  EventId after(Micros delay, EventFn fn) { return at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  EventId after(Micros delay, F&& fn) {
+    return at(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Cancel a previously scheduled callback; no-op if already fired.
-  void cancel(EventId ev) {
-    if (cancelled_.insert(ev.id).second) {
-      // The entry stays in the queue and is skipped at pop time.
-    }
+  /// Cancel a previously scheduled callback; a no-op if it already fired
+  /// (or was already cancelled).  The entry is removed in place — repeated
+  /// cancel-after-fire churn leaves nothing behind.
+  void cancel(EventId ev) { heap_.cancel(ev.id); }
+
+  /// Move a still-pending callback to absolute time `t` (>= now), keeping
+  /// its callback and handle.  Returns false if the event already fired or
+  /// was cancelled — the caller should schedule a fresh one.
+  ///
+  /// Determinism: a successful reschedule consumes exactly one sequence
+  /// number, the same as the cancel+at() pair it replaces (cancel consumes
+  /// none), so timer-heavy schedules are unchanged byte for byte.
+  bool reschedule(EventId ev, Micros t) {
+    assert(t >= now_);
+    if (!heap_.reschedule(ev.id, t, seq_)) return false;
+    ++seq_;
+    return true;
   }
 
   /// Run the next pending event.  Returns false if the queue is empty.
   bool step() {
-    while (!queue_.empty()) {
-      Entry e = std::move(const_cast<Entry&>(queue_.top()));
-      queue_.pop();
-      --pending_;
-      if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;
-      }
-      assert(e.time >= now_);
-      now_ = e.time;
-      e.fn();
-      return true;
-    }
-    return false;
+    if (heap_.empty()) return false;
+    EventHeap::Fired f = heap_.pop();
+    assert(f.time >= now_);
+    now_ = f.time;
+    ++executed_;
+    f.fn();
+    return true;
   }
 
   /// Run until the queue is empty or `max_events` have fired.
@@ -107,32 +124,53 @@ class Simulator {
 
   /// Run all events with time <= t, then set now() = t.
   void run_until(Micros t) {
-    while (!queue_.empty()) {
-      if (peek_time() > t) break;
-      step();
-    }
+    while (!heap_.empty() && heap_.top_time() <= t) step();
     if (now_ < t) now_ = t;
   }
 
   /// Run for `d` microseconds of simulated time.
   void run_for(Micros d) { run_until(now_ + d); }
 
-  /// Number of scheduled-but-unfired events (including cancelled ones).
-  [[nodiscard]] std::size_t pending() const { return pending_; }
+  /// Number of scheduled-but-unfired events.  Cancelled events are removed
+  /// immediately, so this is the exact live queue depth.
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Total events executed since construction (the obs layer exports this
+  /// as the `sim.events_executed` counter).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Event-slot arena size (live + recycled); grows only with the peak
+  /// number of simultaneously pending events.  For tests and diagnostics.
+  [[nodiscard]] std::size_t slot_capacity() const { return heap_.slot_capacity(); }
 
   /// Root RNG for the experiment; fork() per-component streams from it.
   Rng& rng() { return rng_; }
 
   // --- Coroutine support -------------------------------------------------
 
+  /// Event callback that resumes a suspended coroutine when fired — and
+  /// destroys the suspended frame instead if the event is dropped unfired
+  /// (cancelled, or the simulator is torn down with the event pending), so
+  /// awaiting coroutines cannot leak their frames.
+  struct CoroResume {
+    std::coroutine_handle<> h;
+    explicit CoroResume(std::coroutine_handle<> hh) noexcept : h(hh) {}
+    CoroResume(CoroResume&& o) noexcept : h(std::exchange(o.h, nullptr)) {}
+    CoroResume(const CoroResume&) = delete;
+    CoroResume& operator=(const CoroResume&) = delete;
+    CoroResume& operator=(CoroResume&&) = delete;
+    ~CoroResume() {
+      if (h) h.destroy();
+    }
+    void operator()() { std::exchange(h, nullptr).resume(); }
+  };
+
   /// Awaitable that resumes the coroutine after `d` simulated microseconds.
   struct DelayAwaiter {
     Simulator& sim;
     Micros d;
     bool await_ready() const noexcept { return false; }
-    void await_suspend(std::coroutine_handle<> h) {
-      sim.after(d, [h] { h.resume(); });
-    }
+    void await_suspend(std::coroutine_handle<> h) { sim.after(d, CoroResume{h}); }
     void await_resume() const noexcept {}
   };
 
@@ -140,28 +178,10 @@ class Simulator {
   DelayAwaiter delay(Micros d) { return DelayAwaiter{*this, d}; }
 
  private:
-  struct Entry {
-    Micros time;
-    std::uint64_t seq;  // FIFO tie-break for simultaneous events
-    std::uint64_t id;
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
-
-  [[nodiscard]] Micros peek_time() const { return queue_.top().time; }
-
   Micros now_ = 0;
   std::uint64_t seq_ = 0;
-  std::uint64_t next_id_ = 1;
-  std::size_t pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  // detlint:allow(unordered-container): membership-test only (insert/find/
-  // erase); never iterated, so hash order cannot leak into the schedule.
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t executed_ = 0;
+  EventHeap heap_;
   Rng rng_;
 };
 
@@ -174,6 +194,15 @@ class Simulator {
 class Signal {
  public:
   explicit Signal(Simulator& sim) : sim_(sim) {}
+
+  /// Waiters still suspended when the signal is destroyed can never be
+  /// resumed; destroy their frames so they do not leak.
+  ~Signal() {
+    for (auto h : waiters_) h.destroy();
+  }
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
 
   struct Awaiter {
     Signal& sig;
@@ -191,14 +220,14 @@ class Signal {
     if (waiters_.empty()) return;
     auto h = waiters_.front();
     waiters_.erase(waiters_.begin());
-    sim_.after(0, [h] { h.resume(); });
+    sim_.after(0, Simulator::CoroResume{h});
   }
 
   /// Resume all waiters.
   void notify_all() {
     auto ws = std::move(waiters_);
     waiters_.clear();
-    for (auto h : ws) sim_.after(0, [h] { h.resume(); });
+    for (auto h : ws) sim_.after(0, Simulator::CoroResume{h});
   }
 
   [[nodiscard]] std::size_t waiter_count() const { return waiters_.size(); }

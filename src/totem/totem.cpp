@@ -13,7 +13,7 @@ constexpr std::uint32_t kPacketMagic = 0x544f544d;  // "TOTM"
 constexpr std::size_t kEnvelopeSize = 8;            // [magic u32][checksum u32]
 constexpr std::size_t kEnvelopeChecksumOffset = 4;
 
-std::uint32_t fnv1a(const Bytes& data, std::size_t from) {
+std::uint32_t fnv1a(std::span<const std::uint8_t> data, std::size_t from) {
   std::uint32_t h = 2166136261u;
   for (std::size_t i = from; i < data.size(); ++i) {
     h ^= data[i];
@@ -41,12 +41,12 @@ Bytes TotemNode::seal(Bytes body) {
   return packet;
 }
 
-bool TotemNode::unseal(const Bytes& packet, BytesReader& out_reader) {
+bool TotemNode::unseal(const SharedBytes& packet, BytesReader& out_reader) {
   // A datagram shorter than the envelope cannot be a Totem packet; reject
   // it before touching any field so truncated junk is dropped, not parsed.
   if (packet.size() < kEnvelopeSize) return false;
   if (load_u32le(packet.data()) != kPacketMagic) return false;
-  if (load_u32le(packet.data() + kEnvelopeChecksumOffset) != fnv1a(packet, kEnvelopeSize)) {
+  if (load_u32le(packet.data() + kEnvelopeChecksumOffset) != fnv1a(packet.span(), kEnvelopeSize)) {
     return false;
   }
   out_reader = BytesReader(
@@ -76,7 +76,7 @@ Bytes TotemNode::encode_mcast(const Mcast& m) {
   w.u32(m.sender.value);
   w.boolean(m.recovery);
   w.u8(static_cast<std::uint8_t>(m.delivery));
-  w.bytes(m.payload);
+  w.bytes(m.payload.span());
   return seal(std::move(w).take());
 }
 
@@ -110,7 +110,7 @@ Bytes TotemNode::encode_commit(const Commit& c) {
 
 void TotemNode::start() {
   assert(state_ == State::kDown);
-  net_.attach(id_, [this](NodeId src, const Bytes& data) { on_packet(src, data); });
+  net_.attach(id_, [this](NodeId src, const SharedBytes& data) { on_packet(src, data); });
   state_ = State::kGather;
   enter_gather("boot");
 }
@@ -170,7 +170,13 @@ void TotemNode::cancel_timers() {
 }
 
 void TotemNode::reset_token_loss_timer() {
-  if (token_loss_armed_) sim_.cancel(token_loss_timer_);
+  // Fires on every token receipt: re-key the live timer in place instead
+  // of a cancel+insert pair.  The reused closure's captured epoch is still
+  // current — epoch only changes on crash(), which cancels all timers.
+  if (token_loss_armed_ &&
+      sim_.reschedule(token_loss_timer_, sim_.now() + cfg_.token_loss_timeout_us)) {
+    return;
+  }
   token_loss_armed_ = true;
   token_loss_timer_ = sim_.after(cfg_.token_loss_timeout_us, [this, e = epoch_] {
     if (e != epoch_ || state_ != State::kOperational) return;
@@ -181,7 +187,7 @@ void TotemNode::reset_token_loss_timer() {
 
 // --- Packet dispatch -----------------------------------------------------------
 
-void TotemNode::on_packet(NodeId src, const Bytes& data) {
+void TotemNode::on_packet(NodeId src, const SharedBytes& data) {
   if (state_ == State::kDown) return;
   static const Bytes kEmpty;
   BytesReader r(kEmpty);
@@ -215,7 +221,13 @@ void TotemNode::on_packet(NodeId src, const Bytes& data) {
         m.sender = NodeId{r.u32()};
         m.recovery = r.boolean();
         m.delivery = static_cast<DeliveryClass>(r.u8());
-        m.payload = r.bytes();
+        // Zero copy: the payload is an aliasing slice of the sealed packet
+        // (reader offsets are relative to the body, hence + kEnvelopeSize).
+        // skip() enforces the same truncation check r.bytes() would.
+        const std::uint32_t len = r.u32();
+        const std::size_t off = r.pos();
+        r.skip(len);
+        m.payload = data.slice(kEnvelopeSize + off, len);
         handle_mcast(std::move(m));
         break;
       }
@@ -400,7 +412,12 @@ void TotemNode::send_token_to_successor(Token tok) {
 }
 
 void TotemNode::arm_token_retrans() {
-  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_);
+  // Re-armed on every token we forward; re-key the live timer when possible
+  // (see reset_token_loss_timer for the epoch argument).
+  if (token_retrans_armed_ &&
+      sim_.reschedule(token_retrans_timer_, sim_.now() + cfg_.token_retrans_timeout_us)) {
+    return;
+  }
   token_retrans_armed_ = true;
   token_retrans_timer_ = sim_.after(cfg_.token_retrans_timeout_us, [this, e = epoch_] {
     if (e != epoch_ || state_ != State::kOperational || !last_sent_token_) return;

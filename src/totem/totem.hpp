@@ -123,8 +123,9 @@ struct TotemStats {
 class TotemNode {
  public:
   /// Delivery callback: (sender node, payload).  Called in agreed total
-  /// order, identical at every member of the configuration.
-  using DeliverFn = std::function<void(NodeId, const Bytes&)>;
+  /// order, identical at every member of the configuration.  The payload
+  /// is a zero-copy slice of the packet it arrived in.
+  using DeliverFn = std::function<void(NodeId, const SharedBytes&)>;
   /// View-change callback, called when a new configuration is installed.
   using ViewFn = std::function<void(const View&)>;
 
@@ -178,7 +179,7 @@ class TotemNode {
   /// corrupted or foreign datagrams are dropped instead of being
   /// misinterpreted as protocol messages.
   static Bytes seal(Bytes body);
-  static bool unseal(const Bytes& packet, BytesReader& out_reader);
+  static bool unseal(const SharedBytes& packet, BytesReader& out_reader);
 
   struct Token {
     RingId ring_id = 0;
@@ -196,7 +197,9 @@ class TotemNode {
     NodeId sender;
     bool recovery = false;  // rebroadcast of an old-ring message
     DeliveryClass delivery = DeliveryClass::kAgreed;
-    Bytes payload;
+    // Received messages hold an aliasing slice of the sealed packet they
+    // arrived in (zero copy); locally originated ones own their buffer.
+    SharedBytes payload;
   };
 
   struct Join {
@@ -225,7 +228,7 @@ class TotemNode {
   static Bytes encode_commit(const Commit& c);
 
   // --- Packet handling -----------------------------------------------------
-  void on_packet(NodeId src, const Bytes& data);
+  void on_packet(NodeId src, const SharedBytes& data);
   void handle_token(Token tok);
   void handle_mcast(Mcast m);
   void handle_join(const Join& j);

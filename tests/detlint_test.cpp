@@ -167,6 +167,37 @@ TEST(DetlintTest, PointerKeyedContainersFlagged) {
   }
 }
 
+// --- heap-callback -------------------------------------------------------------
+
+TEST(DetlintTest, HeapCallbackFlaggedInHotPathLayers) {
+  const std::string src = "std::function<void()> cb_;\n";
+  for (const char* dir : {"src/sim/a.hpp", "src/net/a.hpp"}) {
+    const auto fs = lint_content(dir, src);
+    ASSERT_TRUE(has_rule(fs, "heap-callback")) << dir;
+    EXPECT_EQ(line_of(fs, "heap-callback"), 1) << dir;
+    for (const Finding& f : fs) {
+      if (f.rule == "heap-callback") {
+        EXPECT_EQ(f.severity, Severity::kWarning);  // advisory, not gating
+      }
+    }
+  }
+}
+
+TEST(DetlintTest, HeapCallbackNotFlaggedOutsideHotPathLayers) {
+  const std::string src = "std::function<void()> cb_;\n";
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.hpp", src), "heap-callback"));
+  EXPECT_FALSE(has_rule(lint_content("src/app/a.hpp", src), "heap-callback"));
+  EXPECT_FALSE(has_rule(lint_content("tests/a_test.cpp", src), "heap-callback"));
+  // Identifier suffixes are not the type.
+  EXPECT_FALSE(has_rule(lint_content("src/sim/a.hpp", "my_function(1);\n"), "heap-callback"));
+}
+
+TEST(DetlintTest, HeapCallbackSuppressible) {
+  const std::string src = "using Handler = std::function<void(int)>;  "
+                          "// detlint:allow(heap-callback): bound once at attach time\n";
+  EXPECT_TRUE(lint_content("src/net/a.hpp", src).empty());
+}
+
 // --- comment/string awareness --------------------------------------------------
 
 TEST(DetlintTest, CommentsAndStringsAreNotCode) {

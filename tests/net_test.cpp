@@ -20,8 +20,8 @@ struct Rig {
   explicit Rig(NetworkConfig c = {}) : cfg(c), net(sim, cfg) {}
 
   void attach(std::uint32_t id) {
-    net.attach(NodeId{id}, [this, id](NodeId src, const Bytes& b) {
-      inbox[id].emplace_back(src, b);
+    net.attach(NodeId{id}, [this, id](NodeId src, const SharedBytes& b) {
+      inbox[id].emplace_back(src, b.to_bytes());
     });
   }
 };
@@ -59,7 +59,7 @@ TEST(NetworkTest, LatencyIsAtLeastBasePlusSerialization) {
   rig.attach(0);
   rig.attach(1);
   Micros delivered_at = -1;
-  rig.net.attach(NodeId{1}, [&](NodeId, const Bytes&) { delivered_at = rig.sim.now(); });
+  rig.net.attach(NodeId{1}, [&](NodeId, const SharedBytes&) { delivered_at = rig.sim.now(); });
   rig.net.send(NodeId{0}, NodeId{1}, payload(1, 1250));  // 1250B at 12.5B/us = 100us
   rig.sim.run();
   ASSERT_GE(delivered_at, 0);
@@ -174,7 +174,7 @@ TEST(NetworkTest, NicSerializesBackToBackPackets) {
   rig.attach(0);
   rig.attach(1);
   std::vector<Micros> arrivals;
-  rig.net.attach(NodeId{1}, [&](NodeId, const Bytes&) { arrivals.push_back(rig.sim.now()); });
+  rig.net.attach(NodeId{1}, [&](NodeId, const SharedBytes&) { arrivals.push_back(rig.sim.now()); });
   // Ten 1250-byte packets sent at the same instant: the NIC transmits them
   // one after another at 12.5 B/us = 100us each.
   for (int i = 0; i < 10; ++i) rig.net.send(NodeId{0}, NodeId{1}, payload(1, 1250));
@@ -195,7 +195,7 @@ TEST(NetworkTest, DifferentSendersDoNotShareTheTxQueue) {
   rig.attach(1);
   rig.attach(2);
   std::vector<Micros> arrivals;
-  rig.net.attach(NodeId{2}, [&](NodeId, const Bytes&) { arrivals.push_back(rig.sim.now()); });
+  rig.net.attach(NodeId{2}, [&](NodeId, const SharedBytes&) { arrivals.push_back(rig.sim.now()); });
   rig.net.send(NodeId{0}, NodeId{2}, payload(1, 1250));
   rig.net.send(NodeId{1}, NodeId{2}, payload(2, 1250));
   rig.sim.run();
@@ -209,7 +209,7 @@ TEST(NetworkTest, BroadcastUsesOneTransmissionSlot) {
   for (std::uint32_t i = 0; i < 4; ++i) rig.attach(i);
   std::vector<Micros> arrivals;
   for (std::uint32_t i = 1; i < 4; ++i) {
-    rig.net.attach(NodeId{i}, [&](NodeId, const Bytes&) { arrivals.push_back(rig.sim.now()); });
+    rig.net.attach(NodeId{i}, [&](NodeId, const SharedBytes&) { arrivals.push_back(rig.sim.now()); });
   }
   rig.net.broadcast(NodeId{0}, payload(1, 1250));
   rig.sim.run();
@@ -224,7 +224,7 @@ TEST(NetworkTest, DeterministicAcrossIdenticalRuns) {
     rig.attach(0);
     rig.attach(1);
     std::vector<Micros> times;
-    rig.net.attach(NodeId{1}, [&](NodeId, const Bytes&) { times.push_back(rig.sim.now()); });
+    rig.net.attach(NodeId{1}, [&](NodeId, const SharedBytes&) { times.push_back(rig.sim.now()); });
     for (int i = 0; i < 50; ++i) rig.net.send(NodeId{0}, NodeId{1}, payload(1));
     rig.sim.run();
     return times;

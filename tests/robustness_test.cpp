@@ -37,7 +37,7 @@ struct TotemRig {
     delivered.resize(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
-      nodes.back()->set_deliver_handler([this, i](NodeId, const Bytes& b) {
+      nodes.back()->set_deliver_handler([this, i](NodeId, const SharedBytes& b) {
         delivered[i].emplace_back(std::string(b.begin(), b.end()), sim.now());
       });
     }
@@ -258,7 +258,7 @@ TEST_P(TotemFuzz, NeverCrashedNodesAgreeUnderRandomFaults) {
   std::vector<std::vector<std::string>> delivered(kNodes);
   for (std::uint32_t i = 0; i < kNodes; ++i) {
     nodes.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
-    nodes.back()->set_deliver_handler([&delivered, i](NodeId, const Bytes& b) {
+    nodes.back()->set_deliver_handler([&delivered, i](NodeId, const SharedBytes& b) {
       delivered[i].push_back(std::string(b.begin(), b.end()));
     });
   }

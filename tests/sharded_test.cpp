@@ -115,23 +115,34 @@ TEST(ShardedTest, ShardsProcessConcurrently) {
   }
   ASSERT_EQ(keys.size(), 4u);
 
+  // Measure the instant the last reply arrives (recorded inside the
+  // callback), not the polling-loop position: run_until() pauses on 10ms
+  // boundaries, which would quantize both measurements to the same window.
   int done = 0;
+  Micros last_reply = 0;
   const Micros t0 = kv.tb.sim().now();
   for (const auto& k : keys) {
-    kv.tb.client().invoke(kv_acquire(k, 2, 1'000'000), [&](const Bytes&) { ++done; });
+    kv.tb.client().invoke(kv_acquire(k, 2, 1'000'000), [&](const Bytes&) {
+      ++done;
+      last_reply = kv.tb.sim().now();
+    });
   }
   while (done < 4) kv.tb.sim().run_until(kv.tb.sim().now() + 10'000);
-  const Micros elapsed_concurrent = kv.tb.sim().now() - t0;
+  const Micros elapsed_concurrent = last_reply - t0;
 
   // Baseline: the same four ops on a single-sharded deployment.
   ShardedKv kv1(1, 3, 2);
   int done1 = 0;
+  Micros last_reply1 = 0;
   const Micros t1 = kv1.tb.sim().now();
   for (const auto& k : keys) {
-    kv1.tb.client().invoke(kv_acquire(k, 2, 1'000'000), [&](const Bytes&) { ++done1; });
+    kv1.tb.client().invoke(kv_acquire(k, 2, 1'000'000), [&](const Bytes&) {
+      ++done1;
+      last_reply1 = kv1.tb.sim().now();
+    });
   }
   while (done1 < 4) kv1.tb.sim().run_until(kv1.tb.sim().now() + 10'000);
-  const Micros elapsed_serial = kv1.tb.sim().now() - t1;
+  const Micros elapsed_serial = last_reply1 - t1;
 
   EXPECT_LT(elapsed_concurrent, elapsed_serial);
 }

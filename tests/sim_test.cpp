@@ -2,6 +2,7 @@
 // coroutine delays and signals.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 #include "sim/simulator.hpp"

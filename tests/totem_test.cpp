@@ -3,6 +3,7 @@
 // the primary-component model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,7 +17,7 @@ namespace cts::totem {
 namespace {
 
 Bytes msg(const std::string& s) { return Bytes(s.begin(), s.end()); }
-std::string str(const Bytes& b) { return std::string(b.begin(), b.end()); }
+std::string str(const SharedBytes& b) { return std::string(b.begin(), b.end()); }
 
 /// A cluster of TotemNodes over one simulated LAN, with per-node delivery
 /// and view logs.
@@ -34,7 +35,7 @@ struct Cluster {
     for (std::uint32_t i = 0; i < n; ++i) {
       auto node = std::make_unique<TotemNode>(sim, net, NodeId{i}, tcfg);
       node->set_deliver_handler(
-          [this, i](NodeId, const Bytes& b) { delivered[i].push_back(str(b)); });
+          [this, i](NodeId, const SharedBytes& b) { delivered[i].push_back(str(b)); });
       node->set_view_handler([this, i](const View& v) { views[i].push_back(v); });
       nodes.push_back(std::move(node));
     }
@@ -386,9 +387,9 @@ std::uint32_t test_fnv1a(const Bytes& data, std::size_t from) {
 
 Bytes forge_sealed(const Bytes& body) {
   constexpr std::uint32_t kMagic = 0x544f544d;  // "TOTM"
-  Bytes packet(8, 0);
+  Bytes packet(8 + body.size(), 0);
+  std::copy(body.begin(), body.end(), packet.begin() + 8);
   store_u32le(packet.data(), kMagic);
-  packet.insert(packet.end(), body.begin(), body.end());
   store_u32le(packet.data() + 4, test_fnv1a(packet, 8));
   return packet;
 }
@@ -400,7 +401,7 @@ struct InjectionFixture {
   InjectionFixture() {
     c.start_all();
     EXPECT_TRUE(c.converge());
-    c.net.attach(injector, [](NodeId, const Bytes&) {});
+    c.net.attach(injector, [](NodeId, const SharedBytes&) {});
   }
 
   void inject(const Bytes& packet) {

@@ -255,6 +255,14 @@ const std::vector<RegexRule>& regex_rules() {
        "pointer-keyed ordered container outside protocol layers: iteration order follows "
        "allocation order; avoid feeding it into any output or decision",
        [](const std::string& p) { return !in_protocol_layer(p); }},
+      {"heap-callback", Severity::kWarning,
+       std::regex(R"(std::\s*function\b)"),
+       "std::function in the event hot path: captures past its ~16-byte small buffer "
+       "heap-allocate on every construction; use sim::InlineFn (48-byte inline storage), "
+       "hoist the construction off the per-event path, or suppress with a justification",
+       [](const std::string& p) {
+         return starts_with(p, "src/sim/") || starts_with(p, "src/net/");
+       }},
   };
   return rules;
 }
