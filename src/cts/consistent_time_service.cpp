@@ -76,6 +76,11 @@ Micros ConsistentTimeService::propose_local_clock(Micros physical) {
 }
 
 bool ConsistentTimeService::start_round(ThreadId thread, ClockCallType call_type, DoneFn done) {
+  return start_round_impl(thread, call_type, RoundContinuation{std::move(done)});
+}
+
+bool ConsistentTimeService::start_round_impl(ThreadId thread, ClockCallType call_type,
+                                            RoundContinuation done) {
   register_thread(thread);  // idempotent; tolerates lazy registration
   CcsHandler& h = handlers_.at(thread);
   if (h.waiting) {
@@ -333,7 +338,6 @@ void ConsistentTimeService::try_complete(CcsHandler& h) {
   }
 
   auto done = std::move(h.waiting);
-  h.waiting = nullptr;
   done(grp);
 }
 

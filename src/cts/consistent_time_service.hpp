@@ -113,9 +113,78 @@ struct CtsStats {
   std::uint64_t proposals_resent = 0;    // re-issued by a freshly promoted primary
 };
 
-class ConsistentTimeService {
+/// Parked continuation of an in-flight CCS round: either a plain callback
+/// (replication control paths) or a suspended coroutine awaiting the round's
+/// group-clock value.  Move-only with destroy-on-drop semantics for the
+/// coroutine case — if the service is torn down with a round still in
+/// flight, dropping the continuation destroys the suspended frame instead
+/// of leaking it (the same discipline sim::Simulator::CoroResume applies to
+/// dropped events).
+class RoundContinuation {
  public:
   using DoneFn = std::function<void(Micros)>;
+
+  RoundContinuation() = default;
+  /// Callback form.
+  RoundContinuation(DoneFn f) : cb_(std::move(f)) {}  // NOLINT(google-explicit-constructor)
+  /// Coroutine form: on completion writes the value through `out` (which
+  /// must point into the suspended frame) and resumes `h` through the event
+  /// queue, matching Signal semantics.
+  RoundContinuation(std::coroutine_handle<> h, Micros* out, sim::Simulator& sim)
+      : coro_(h), out_(out), sim_(&sim) {}
+
+  RoundContinuation(RoundContinuation&& o) noexcept
+      : cb_(std::move(o.cb_)),
+        coro_(std::exchange(o.coro_, nullptr)),
+        out_(o.out_),
+        sim_(o.sim_) {
+    o.cb_ = nullptr;
+  }
+  RoundContinuation& operator=(RoundContinuation&& o) noexcept {
+    if (this != &o) {
+      drop();
+      cb_ = std::move(o.cb_);
+      o.cb_ = nullptr;
+      coro_ = std::exchange(o.coro_, nullptr);
+      out_ = o.out_;
+      sim_ = o.sim_;
+    }
+    return *this;
+  }
+  RoundContinuation(const RoundContinuation&) = delete;
+  RoundContinuation& operator=(const RoundContinuation&) = delete;
+  ~RoundContinuation() { drop(); }
+
+  [[nodiscard]] explicit operator bool() const {
+    return coro_ != nullptr || static_cast<bool>(cb_);
+  }
+
+  /// Complete the round.  Consumes the continuation.
+  void operator()(Micros v) {
+    if (coro_) {
+      *out_ = v;
+      sim_->after(0, sim::Simulator::CoroResume{std::exchange(coro_, nullptr)});
+    } else if (cb_) {
+      auto f = std::move(cb_);
+      cb_ = nullptr;
+      f(v);
+    }
+  }
+
+ private:
+  void drop() {
+    if (coro_) std::exchange(coro_, nullptr).destroy();
+  }
+
+  DoneFn cb_;
+  std::coroutine_handle<> coro_;
+  Micros* out_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+};
+
+class ConsistentTimeService {
+ public:
+  using DoneFn = RoundContinuation::DoneFn;
   using RoundObserver = std::function<void(const RoundResult&)>;
 
   ConsistentTimeService(sim::Simulator& sim, gcs::GcsEndpoint& gcs, clock::PhysicalClock& clk,
@@ -147,6 +216,15 @@ class ConsistentTimeService {
   /// turn into a silently clobbered callback.
   bool start_round(ThreadId thread, ClockCallType call_type, DoneFn done);
 
+  /// Coroutine form of start_round(): parks `h` with destroy-on-drop
+  /// semantics so a service torn down mid-round cannot leak the suspended
+  /// frame.  On completion, writes the group clock through `out` and
+  /// resumes `h` via the event queue.  Same rejection rule as above.
+  bool start_round(ThreadId thread, ClockCallType call_type, std::coroutine_handle<> h,
+                   Micros* out) {
+    return start_round_impl(thread, call_type, RoundContinuation{h, out, sim_});
+  }
+
   /// Awaitable form for simulated logical threads:
   ///   Micros now = co_await svc.get_time(thread);
   struct TimeAwaiter {
@@ -157,15 +235,11 @@ class ConsistentTimeService {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      const bool started = svc.start_round(thread, call_type, [this, h](Micros v) {
-        value = v;
-        svc.sim_.after(0, [h] { h.resume(); });
-      });
-      if (!started) {
+      if (!svc.start_round(thread, call_type, h, &value)) {
         // Rejected (a round is already in flight for this thread): resume
         // with kNoTime rather than suspending forever.
         value = kNoTime;
-        svc.sim_.after(0, [h] { h.resume(); });
+        svc.sim_.after(0, sim::Simulator::CoroResume{h});
       }
     }
     Micros await_resume() const noexcept { return value; }
@@ -255,14 +329,17 @@ class ConsistentTimeService {
     MsgSeqNum last_seq_seen = 0;  // duplicate detection
     std::deque<BufferedMsg> my_input_buffer;
 
-    // State of the in-progress round, if a caller is blocked.
-    DoneFn waiting;
+    // State of the in-progress round, if a caller is blocked.  Dropping a
+    // parked coroutine continuation destroys its frame (no leak on
+    // teardown mid-round).
+    RoundContinuation waiting;
     Micros pc_at_round = 0;
     Micros proposed_at_round = 0;
     ClockCallType call_type = ClockCallType::kGettimeofday;
     bool sent_this_round = false;
   };
 
+  bool start_round_impl(ThreadId thread, ClockCallType call_type, RoundContinuation done);
   void on_ccs_delivered(const gcs::Message& m);
   void recv_into_handler(CcsHandler& h, BufferedMsg msg);
   void try_complete(CcsHandler& h);

@@ -59,16 +59,13 @@ class TimeSyscalls {
 
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      const bool started = svc.start_round(thread, kType, [this, h](Micros v) {
-        raw = v;
-        // Resume through the event queue, matching Signal semantics.
-        svc.simulator().after(0, [h] { h.resume(); });
-      });
-      if (!started) {
+      // The parked handle has destroy-on-drop semantics: tearing the
+      // service down mid-round destroys this frame instead of leaking it.
+      if (!svc.start_round(thread, kType, h, &raw)) {
         // Rejected (round already in flight on this thread): resume with
         // kNoTime rather than suspending forever.
         raw = kNoTime;
-        svc.simulator().after(0, [h] { h.resume(); });
+        svc.simulator().after(0, sim::Simulator::CoroResume{h});
       }
     }
     Result await_resume() const { return Convert(raw); }

@@ -455,5 +455,58 @@ TEST(CtsCheckpointTest, CheckpointIsDeterministic) {
   EXPECT_EQ(rig.svcs[0]->checkpoint(), rig.svcs[0]->checkpoint());
 }
 
+// --- Teardown with a round in flight ----------------------------------------------------
+
+// Lives in the coroutine frame, so its destructor runs exactly when the
+// frame is destroyed — on normal completion or, for a round that can never
+// complete, when the torn-down service drops the parked continuation.
+struct FrameProbe {
+  bool* destroyed;
+  ~FrameProbe() { *destroyed = true; }
+};
+
+sim::Task await_unfinishable_round(ConsistentTimeService& svc, bool* destroyed, bool* resumed) {
+  FrameProbe probe{destroyed};
+  (void)co_await svc.get_time(kThread0);
+  *resumed = true;
+}
+
+TEST(CtsTeardownTest, ServiceDestroyedMidRoundDestroysSuspendedFrame) {
+  // Regression for the historical frame leak: a logical thread blocked in a
+  // clock-related operation parked its frame behind a bare callback; tearing
+  // the service down destroyed the callback but not the frame, and every
+  // failover/recovery test tripped LeakSanitizer.
+  bool destroyed = false;
+  bool resumed = false;
+  {
+    // Passive style: replica 1 is a backup, so its round never sends a
+    // proposal, and no other replica runs this thread — the await can
+    // never complete.
+    Rig rig(2, ReplicationStyle::kPassive);
+    rig.start();
+    await_unfinishable_round(*rig.svcs[1], &destroyed, &resumed);
+    rig.sim.run_for(200'000);
+    EXPECT_FALSE(destroyed);  // parked on the in-flight round, frame alive
+    EXPECT_FALSE(resumed);
+  }  // ~Rig destroys the service with the round still in flight
+  EXPECT_TRUE(destroyed);
+  EXPECT_FALSE(resumed);
+}
+
+TEST(CtsTeardownTest, CompletedRoundStillRunsFrameToCompletion) {
+  // The destroy-on-drop machinery must not fire for rounds that complete
+  // normally: the frame resumes, finishes, and frees itself exactly once.
+  bool destroyed = false;
+  bool resumed = false;
+  {
+    Rig rig(2);
+    rig.start();
+    await_unfinishable_round(*rig.svcs[0], &destroyed, &resumed);  // active: completes
+    rig.sim.run_for(2'000'000);
+    EXPECT_TRUE(resumed);
+    EXPECT_TRUE(destroyed);
+  }
+}
+
 }  // namespace
 }  // namespace cts::ccs
