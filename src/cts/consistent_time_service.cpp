@@ -95,6 +95,10 @@ bool ConsistentTimeService::start_round_impl(ThreadId thread, ClockCallType call
     CTS_ERROR() << "replica " << to_string(cfg_.replica) << ": clock-related operation started on "
                 << to_string(thread) << " while round " << h.my_round_number
                 << " is still in flight; call rejected";
+    // For a coroutine continuation the awaiter retains ownership of the
+    // suspended frame on this path (it resumes the frame with kNoTime), so
+    // `done` must not destroy the frame when it goes out of scope.
+    done.release();
     return false;
   }
 

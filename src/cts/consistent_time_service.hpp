@@ -159,16 +159,32 @@ class RoundContinuation {
     return coro_ != nullptr || static_cast<bool>(cb_);
   }
 
-  /// Complete the round.  Consumes the continuation.
+  /// Complete the round.  Consumes the continuation: afterwards every
+  /// member is null, so a (buggy) second invocation is a no-op rather than
+  /// a write through a dangling pointer into a freed frame.
   void operator()(Micros v) {
     if (coro_) {
-      *out_ = v;
-      sim_->after(0, sim::Simulator::CoroResume{std::exchange(coro_, nullptr)});
+      *std::exchange(out_, nullptr) = v;
+      std::exchange(sim_, nullptr)
+          ->after(0, sim::Simulator::CoroResume{std::exchange(coro_, nullptr)});
     } else if (cb_) {
       auto f = std::move(cb_);
       cb_ = nullptr;
       f(v);
     }
+  }
+
+  /// Disown the continuation WITHOUT running or destroying it.  Rejection
+  /// paths use this: the awaiter that parked the coroutine handle keeps
+  /// ownership of the suspended frame (it resumes it with kNoTime), so the
+  /// by-value continuation must not destroy the frame when it goes out of
+  /// scope — that would leave the awaiter writing into, and resuming, a
+  /// freed frame.
+  void release() {
+    coro_ = nullptr;
+    out_ = nullptr;
+    sim_ = nullptr;
+    cb_ = nullptr;
   }
 
  private:

@@ -493,6 +493,51 @@ TEST(CtsTeardownTest, ServiceDestroyedMidRoundDestroysSuspendedFrame) {
   EXPECT_FALSE(resumed);
 }
 
+sim::Task await_time_once(ConsistentTimeService& svc, bool* destroyed, Micros* value) {
+  FrameProbe probe{destroyed};
+  *value = co_await svc.get_time(kThread0);
+}
+
+sim::Task await_syscall_once(ConsistentTimeService& svc, bool* destroyed, Micros* value) {
+  FrameProbe probe{destroyed};
+  TimeSyscalls sys(svc, kThread0);
+  *value = co_await sys.clock_gettime();
+}
+
+TEST(CtsTeardownTest, ReentrantCoroutineRejectionResumesWithNoTime) {
+  // Regression for a use-after-free: the rejection path in start_round_impl
+  // used to let the by-value RoundContinuation destroy the suspended frame
+  // on `return false`, after which the awaiter wrote kNoTime into the freed
+  // frame and scheduled a resume (and second destroy) of the dead handle.
+  // The frame must instead stay owned by the awaiter, resume with kNoTime,
+  // and be destroyed exactly once (ASan verifies the "once").
+  bool d_first = false, r_first = false;
+  bool d_second = false, d_third = false;
+  Micros v_second = 0, v_third = 0;
+  // Passive style: replica 1 is a backup, so its round never sends a
+  // proposal and stays in flight indefinitely.
+  Rig rig(2, ReplicationStyle::kPassive);
+  rig.start();
+  await_unfinishable_round(*rig.svcs[1], &d_first, &r_first);
+  rig.sim.run_for(10'000);
+  ASSERT_FALSE(d_first);  // first round parked, frame alive
+
+  // Further rounds on the same thread while the first is in flight are
+  // rejected.  Both coroutine entry points share the rejection path —
+  // exercise the TimeAwaiter (get_time) and the TimeSyscalls awaiter.
+  await_time_once(*rig.svcs[1], &d_second, &v_second);
+  await_syscall_once(*rig.svcs[1], &d_third, &v_third);
+  rig.sim.run_for(100'000);
+  EXPECT_TRUE(d_second);  // resumed, ran to completion, frame freed
+  EXPECT_EQ(v_second, kNoTime);
+  EXPECT_TRUE(d_third);
+  EXPECT_EQ(v_third, kNoTime);
+  EXPECT_EQ(rig.svcs[1]->stats().reentrant_rejected, 2u);
+  // The in-flight round and its parked frame are untouched by the rejections.
+  EXPECT_FALSE(d_first);
+  EXPECT_FALSE(r_first);
+}
+
 TEST(CtsTeardownTest, CompletedRoundStillRunsFrameToCompletion) {
   // The destroy-on-drop machinery must not fire for rounds that complete
   // normally: the frame resumes, finishes, and frees itself exactly once.
