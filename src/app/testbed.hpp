@@ -20,6 +20,7 @@
 
 #include "app/time_server.hpp"
 #include "clock/physical_clock.hpp"
+#include "common/unique_fn.hpp"
 #include "cts/consistent_time_service.hpp"
 #include "gcs/gcs.hpp"
 #include "net/network.hpp"
@@ -165,20 +166,50 @@ class Testbed {
   }
   const TestbedConfig& config() const { return cfg_; }
 
+  /// Node `node`'s lifecycle scope (owned by its Totem daemon).  Everything
+  /// the node schedules — timers, packet deliveries, coroutine resume
+  /// trampolines — is registered here and dies with the node.
+  sim::TaskScope& scope_of(std::uint32_t node) { return totems_[node]->scope(); }
+
   // --- Fault injection ----------------------------------------------------------
 
   /// Fail-stop crash of server replica s (host + clock + protocol stack).
+  ///
+  /// Shutting the lifecycle scope down runs the per-layer shutdown hooks
+  /// (Totem's crash() takes the node off the ring; the CTS abandons
+  /// in-flight rounds, destroying suspended caller frames) and then cancels
+  /// every timer and in-flight delivery the node owns.  Failing the clock
+  /// afterwards arms the fail-stop tripwire: a dead node that somehow still
+  /// executed would read its clock and be counted by reads_after_failure().
   void crash_server(std::uint32_t s) {
     const auto node = server_node(s);
-    totems_[node]->crash();
+    totems_[node]->scope().shutdown();
     clocks_[node]->fail();
+    sync_scope_stats();
+  }
+
+  /// Copy the per-node lifecycle-scope shutdown totals into the recorder's
+  /// metrics registry (schema in EXPERIMENTS.md).  Called after every
+  /// crash; callers that export metrics mid-run may also call it directly.
+  void sync_scope_stats() {
+    std::uint64_t timers = 0;
+    std::uint64_t frames = 0;
+    for (const auto& t : totems_) {
+      timers += t->scope().timers_cancelled_on_shutdown();
+      frames += t->scope().frames_destroyed_on_shutdown();
+    }
+    recorder_.counter("sim.timers_cancelled_on_shutdown").value = timers;
+    recorder_.counter("node.frames_destroyed_on_shutdown").value = frames;
   }
 
   /// Restart server replica s's host and rejoin via state transfer.  The
   /// whole process is rebuilt — a fresh GCS endpoint and replica manager —
   /// and the hardware clock comes back with a new arbitrary offset
-  /// (a reboot does not preserve the system time).
-  void restart_server(std::uint32_t s, std::function<void()> recovered = nullptr) {
+  /// (a reboot does not preserve the system time).  `recovered` is a
+  /// move-only destroy-on-drop continuation: if the testbed (or the new
+  /// manager) is torn down mid-recovery it is destroyed, never invoked
+  /// twice and never leaked.
+  void restart_server(std::uint32_t s, UniqueFn<void()> recovered = nullptr) {
     const auto node = server_node(s);
     const replication::ManagerConfig mcfg = managers_[s]->config();
 

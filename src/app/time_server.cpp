@@ -41,7 +41,7 @@ sim::Task TimeServerApp::serve(Bytes request, std::function<void(Bytes)> done) {
       // gettimeofday(), which returns the clock value" in two longs.
       // The pre-op delay models ORB + scheduling overhead, which differs
       // per host (Figure 1(b)).
-      co_await ctx_.sim.delay(opt_.pre_op_base_us + delay_rng_.range(0, opt_.pre_op_jitter_us));
+      co_await ctx_.time.scope().delay(opt_.pre_op_base_us + delay_rng_.range(0, opt_.pre_op_jitter_us));
       const ccs::TimeVal tv = co_await sys_.gettimeofday();
       ++counter_;
       history_.push_back(tv.total_us());
@@ -55,7 +55,7 @@ sim::Task TimeServerApp::serve(Bytes request, std::function<void(Bytes)> done) {
       const std::uint32_t rounds = r.u32();
       Micros last = 0;
       for (std::uint32_t i = 0; i < rounds; ++i) {
-        co_await ctx_.sim.delay(delay_rng_.range(opt_.min_delay_us, opt_.max_delay_us));
+        co_await ctx_.time.scope().delay(delay_rng_.range(opt_.min_delay_us, opt_.max_delay_us));
         const ccs::TimeVal tv = co_await sys_.gettimeofday();
         ++counter_;
         last = tv.total_us();
@@ -104,7 +104,7 @@ sim::Task LocalTimeServerApp::serve(Bytes request, std::function<void(Bytes)> do
     case TimeServerOp::kGetTime: {
       // Same per-host processing overhead as the CTS variant, so the
       // Figure-5 latency comparison isolates the time service itself.
-      co_await ctx_.sim.delay(opt_.pre_op_base_us + delay_rng_.range(0, opt_.pre_op_jitter_us));
+      co_await ctx_.time.scope().delay(opt_.pre_op_base_us + delay_rng_.range(0, opt_.pre_op_jitter_us));
       const Micros t = ctx_.hw_clock.read();  // local, inconsistent
       ++counter_;
       history_.push_back(t);
@@ -116,7 +116,7 @@ sim::Task LocalTimeServerApp::serve(Bytes request, std::function<void(Bytes)> do
       const std::uint32_t rounds = r.u32();
       Micros last = 0;
       for (std::uint32_t i = 0; i < rounds; ++i) {
-        co_await ctx_.sim.delay(delay_rng_.range(opt_.min_delay_us, opt_.max_delay_us));
+        co_await ctx_.time.scope().delay(delay_rng_.range(opt_.min_delay_us, opt_.max_delay_us));
         last = ctx_.hw_clock.read();
         ++counter_;
         history_.push_back(last);

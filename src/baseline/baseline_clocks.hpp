@@ -22,14 +22,17 @@
 //    (Figure 1's asynchrony argument).
 #pragma once
 
+#include <coroutine>
 #include <deque>
 #include <functional>
 #include <map>
 
 #include "clock/physical_clock.hpp"
 #include "common/types.hpp"
+#include "common/unique_fn.hpp"
 #include "gcs/gcs.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 
 namespace cts::baseline {
 
@@ -50,7 +53,11 @@ class LocalClockService {
 /// competition, no continuity across failover.
 class PrimaryBackupClockService {
  public:
-  using DoneFn = std::function<void(Micros)>;
+  /// Move-only so the awaiter below can park its coroutine frame inside
+  /// with destroy-on-drop semantics (same discipline as the CTS's
+  /// RoundContinuation): tearing the service down mid-reading destroys the
+  /// suspended caller instead of leaking it.
+  using DoneFn = UniqueFn<void(Micros)>;
   /// The clock read by the primary.  Usually a PhysicalClock, but the
   /// failover ablation also runs this baseline over an NTP-disciplined
   /// clock ("alleviated by closely synchronizing the clocks", Section 1).
@@ -75,16 +82,18 @@ class PrimaryBackupClockService {
   void set_primary(bool primary);
   [[nodiscard]] bool is_primary() const { return primary_; }
 
-  /// Awaitable wrapper, mirroring ConsistentTimeService::get_time.
+  /// Awaitable wrapper, mirroring ConsistentTimeService::get_time.  The
+  /// completion callback owns the parked frame (CoroResume guard); the
+  /// resume trampoline is owned by the node's lifecycle scope.
   struct Awaiter {
     PrimaryBackupClockService& svc;
     ThreadId thread;
     Micros value = 0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      svc.read(thread, [this, h](Micros v) {
+      svc.read(thread, [this, guard = sim::Simulator::CoroResume{h}](Micros v) mutable {
         value = v;
-        svc.sim_.after(0, [h] { h.resume(); });
+        svc.gcs_.scope().after(0, std::move(guard));
       });
     }
     Micros await_resume() const noexcept { return value; }

@@ -48,13 +48,13 @@ class PhysicalClock {
 
   /// Read the clock — the moral equivalent of gettimeofday().
   ///
-  /// Fail-stop discipline says a failed host never produces a reading, but a
-  /// crashed node's CTS/manager timers currently stay scheduled and read the
-  /// failed clock (ROADMAP open item: silencing those timers changes crash
-  /// schedules, so it is its own PR).  Release builds have always computed
-  /// the value regardless; rather than abort only in Debug/sanitizer builds,
-  /// count the violation so tests can observe it while every build type runs
-  /// the same schedule.
+  /// Fail-stop discipline says a failed host never produces a reading.
+  /// Since the lifecycle-scope work (doc/LIFECYCLE.md), crash_server shuts
+  /// the node's TaskScope down before failing the clock, cancelling every
+  /// timer and destroying every suspended frame the node owned — so this
+  /// counter is a tripwire, asserted == 0 by every crash/restart test
+  /// (including the crash sweep).  Count rather than abort so every build
+  /// type runs the same schedule and tests can observe a violation.
   [[nodiscard]] Micros read() const {
     if (!alive_) ++reads_after_failure_;
     const double t = static_cast<double>(sim_.now());

@@ -1,0 +1,75 @@
+// UniqueFn: a move-only type-erased callable.
+//
+// The std::function callback types the layers above the simulator exchange
+// (RMI replies, decision-relay deliveries, baseline clock readings,
+// recovery-complete notifications) historically forced awaiters to park
+// their coroutine_handle inside a *copyable* lambda — so tearing the owner
+// down mid-await destroyed the callback but leaked the frame, and nothing
+// in the type system said who owned it.
+//
+// UniqueFn is the ownership-honest replacement: it accepts move-only
+// captures, so completion callbacks can hold a `sim::Simulator::CoroResume`
+// guard whose destructor destroys the suspended frame if the callback is
+// dropped unfired (destroy-on-drop), and whose invocation resumes it
+// exactly once.  Copyable callables (plain lambdas, std::function) convert
+// implicitly, so call sites that never park frames are unaffected.
+//
+// Not InlineFn: these callbacks live in per-request/per-round maps, not in
+// the event heap's hot path, so one allocation per construction (the same
+// cost std::function paid for >16-byte captures) is fine and keeps the
+// type small (one pointer).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace cts {
+
+template <typename Signature>
+class UniqueFn;
+
+template <typename R, typename... Args>
+class UniqueFn<R(Args...)> {
+ public:
+  UniqueFn() noexcept = default;
+  UniqueFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFn(F&& f)  // NOLINT(google-explicit-constructor): callable adapter
+      : impl_(std::make_unique<Model<D>>(std::forward<F>(f))) {}
+
+  UniqueFn(UniqueFn&&) noexcept = default;
+  UniqueFn& operator=(UniqueFn&&) noexcept = default;
+  UniqueFn(const UniqueFn&) = delete;
+  UniqueFn& operator=(const UniqueFn&) = delete;
+
+  UniqueFn& operator=(std::nullptr_t) noexcept {
+    impl_.reset();
+    return *this;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+  R operator()(Args... args) { return impl_->call(std::forward<Args>(args)...); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual R call(Args... args) = 0;
+  };
+
+  template <typename D>
+  struct Model final : Concept {
+    explicit Model(D fn) : f(std::move(fn)) {}
+    R call(Args... args) override { return f(std::forward<Args>(args)...); }
+    D f;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace cts

@@ -22,7 +22,7 @@ const char* to_string(ClockCallType t) {
 
 ConsistentTimeService::ConsistentTimeService(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
                                              clock::PhysicalClock& clk, CtsConfig cfg)
-    : sim_(sim), gcs_(gcs), clock_(clk), cfg_(cfg) {
+    : sim_(sim), gcs_(gcs), clock_(clk), cfg_(cfg), scope_(gcs.scope()) {
   // Paper initialization (Figure 2, lines 1-2): offset and round numbers
   // start at zero, so the first CCS message carries the raw physical
   // hardware clock value.
@@ -41,6 +41,26 @@ ConsistentTimeService::ConsistentTimeService(sim::Simulator& sim, gcs::GcsEndpoi
       on_ccs_delivered(m);
     }
   });
+
+  // Fail-stop: when the node's scope shuts down, abandon every in-flight
+  // round — a dead replica answers no callers.  Registered per instance and
+  // removed in the destructor, because crash/restart cycles rebuild the CTS
+  // while the node's scope persists across the replacement.
+  shutdown_hook_ = scope_.on_shutdown([this] { abandon_inflight_rounds(); });
+}
+
+ConsistentTimeService::~ConsistentTimeService() { scope_.remove_hook(shutdown_hook_); }
+
+void ConsistentTimeService::abandon_inflight_rounds() {
+  std::uint64_t frames = 0;
+  for (auto& [t, h] : handlers_) {
+    if (h.waiting && h.waiting.is_coroutine()) ++frames;
+    // Dropping the continuation destroys a parked coroutine frame (and any
+    // locals it holds) or discards the callback — never invokes either.
+    h.waiting = RoundContinuation{};
+  }
+  recovery_done_ = nullptr;
+  if (frames > 0) scope_.note_frames_destroyed(frames);
 }
 
 // --- Thread registration ----------------------------------------------------------

@@ -46,6 +46,7 @@
 #include "gcs/gcs.hpp"
 #include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 
 namespace cts::ccs {
 
@@ -129,15 +130,18 @@ class RoundContinuation {
   RoundContinuation(DoneFn f) : cb_(std::move(f)) {}  // NOLINT(google-explicit-constructor)
   /// Coroutine form: on completion writes the value through `out` (which
   /// must point into the suspended frame) and resumes `h` through the event
-  /// queue, matching Signal semantics.
-  RoundContinuation(std::coroutine_handle<> h, Micros* out, sim::Simulator& sim)
-      : coro_(h), out_(out), sim_(&sim) {}
+  /// queue, matching Signal semantics.  The resume event is owned by the
+  /// replica's lifecycle scope, so a node that crashes between a round
+  /// completing and its caller resuming destroys the frame instead of
+  /// running dead-node code.
+  RoundContinuation(std::coroutine_handle<> h, Micros* out, sim::TaskScope& scope)
+      : coro_(h), out_(out), scope_(&scope) {}
 
   RoundContinuation(RoundContinuation&& o) noexcept
       : cb_(std::move(o.cb_)),
         coro_(std::exchange(o.coro_, nullptr)),
         out_(o.out_),
-        sim_(o.sim_) {
+        scope_(o.scope_) {
     o.cb_ = nullptr;
   }
   RoundContinuation& operator=(RoundContinuation&& o) noexcept {
@@ -147,7 +151,7 @@ class RoundContinuation {
       o.cb_ = nullptr;
       coro_ = std::exchange(o.coro_, nullptr);
       out_ = o.out_;
-      sim_ = o.sim_;
+      scope_ = o.scope_;
     }
     return *this;
   }
@@ -165,7 +169,7 @@ class RoundContinuation {
   void operator()(Micros v) {
     if (coro_) {
       *std::exchange(out_, nullptr) = v;
-      std::exchange(sim_, nullptr)
+      std::exchange(scope_, nullptr)
           ->after(0, sim::Simulator::CoroResume{std::exchange(coro_, nullptr)});
     } else if (cb_) {
       auto f = std::move(cb_);
@@ -173,6 +177,10 @@ class RoundContinuation {
       f(v);
     }
   }
+
+  /// Whether this continuation owns a suspended coroutine frame (the
+  /// shutdown hook counts those when abandoning in-flight rounds).
+  [[nodiscard]] bool is_coroutine() const { return coro_ != nullptr; }
 
   /// Disown the continuation WITHOUT running or destroying it.  Rejection
   /// paths use this: the awaiter that parked the coroutine handle keeps
@@ -183,7 +191,7 @@ class RoundContinuation {
   void release() {
     coro_ = nullptr;
     out_ = nullptr;
-    sim_ = nullptr;
+    scope_ = nullptr;
     cb_ = nullptr;
   }
 
@@ -195,7 +203,7 @@ class RoundContinuation {
   DoneFn cb_;
   std::coroutine_handle<> coro_;
   Micros* out_ = nullptr;
-  sim::Simulator* sim_ = nullptr;
+  sim::TaskScope* scope_ = nullptr;
 };
 
 class ConsistentTimeService {
@@ -205,6 +213,7 @@ class ConsistentTimeService {
 
   ConsistentTimeService(sim::Simulator& sim, gcs::GcsEndpoint& gcs, clock::PhysicalClock& clk,
                         CtsConfig cfg);
+  ~ConsistentTimeService();
 
   ConsistentTimeService(const ConsistentTimeService&) = delete;
   ConsistentTimeService& operator=(const ConsistentTimeService&) = delete;
@@ -238,7 +247,7 @@ class ConsistentTimeService {
   /// resumes `h` via the event queue.  Same rejection rule as above.
   bool start_round(ThreadId thread, ClockCallType call_type, std::coroutine_handle<> h,
                    Micros* out) {
-    return start_round_impl(thread, call_type, RoundContinuation{h, out, sim_});
+    return start_round_impl(thread, call_type, RoundContinuation{h, out, scope_});
   }
 
   /// Awaitable form for simulated logical threads:
@@ -253,9 +262,10 @@ class ConsistentTimeService {
     void await_suspend(std::coroutine_handle<> h) {
       if (!svc.start_round(thread, call_type, h, &value)) {
         // Rejected (a round is already in flight for this thread): resume
-        // with kNoTime rather than suspending forever.
+        // with kNoTime rather than suspending forever.  The resume is
+        // scope-owned like every other node-scheduled event.
         value = kNoTime;
-        svc.sim_.after(0, sim::Simulator::CoroResume{h});
+        svc.scope_.after(0, sim::Simulator::CoroResume{h});
       }
     }
     Micros await_resume() const noexcept { return value; }
@@ -297,6 +307,10 @@ class ConsistentTimeService {
   // --- Introspection ------------------------------------------------------------------
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  /// The replica's node lifecycle scope (reached through the GCS endpoint's
+  /// TotemNode).  Awaiters and facades above the CTS schedule their resume
+  /// trampolines here so they die with the node.
+  [[nodiscard]] sim::TaskScope& scope() { return scope_; }
   [[nodiscard]] Micros clock_offset() const { return my_clock_offset_; }
   /// Current online estimate of the per-round delay (kAdaptiveMeanDelay).
   [[nodiscard]] double estimated_round_delay() const { return estimated_round_delay_us_; }
@@ -361,11 +375,17 @@ class ConsistentTimeService {
   void try_complete(CcsHandler& h);
   void send_proposal(CcsHandler& h, bool special);
   [[nodiscard]] Micros propose_local_clock(Micros physical);
+  /// Fail-stop teardown (the scope's shutdown hook): drop every parked
+  /// round continuation — destroying suspended caller frames — and the
+  /// recovery-complete callback.  A dead replica answers no rounds.
+  void abandon_inflight_rounds();
 
   sim::Simulator& sim_;
   gcs::GcsEndpoint& gcs_;
   clock::PhysicalClock& clock_;
   CtsConfig cfg_;
+  sim::TaskScope& scope_;
+  sim::TaskScope::HookId shutdown_hook_ = 0;
 
   Micros my_clock_offset_ = 0;  // paper: my_clock_offset
   std::map<ThreadId, CcsHandler> handlers_;

@@ -126,7 +126,10 @@ class GroupTimerService {
         node.mapped()(now);
       }
       if (timers_.empty()) break;
-      co_await time_.simulator().delay(cfg_.poll_interval_us);
+      // The inter-poll sleep is a node-owned event: a fail-stop crash
+      // cancels it and destroys this suspended frame instead of waking a
+      // dead node's poll loop.
+      co_await time_.scope().delay(cfg_.poll_interval_us);
       if (!*alive) co_return;
     }
     if (*alive) running_ = false;
@@ -134,6 +137,10 @@ class GroupTimerService {
 
   ConsistentTimeService& time_;
   Config cfg_;
+  // Destruction-mid-suspend guard, NOT a crash guard: crash cleanup is the
+  // lifecycle scope's job (the scoped delay above dies with the node).  This
+  // only protects a poll loop suspended on get_time() across ~GroupTimerService
+  // — the CTS shutdown hook does not run for plain destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::map<Key, TimerFn> timers_;
   TimerId next_id_ = 1;

@@ -42,17 +42,23 @@ class ConsistentIdGenerator {
   }
 
   /// Awaitable form: `std::uint64_t id = co_await gen.make_id();`
+  ///
+  /// Parks the coroutine handle directly in the CTS round (destroy-on-drop:
+  /// a node torn down mid-round destroys this frame instead of leaking it,
+  /// and the resume trampoline is owned by the node's lifecycle scope).
   struct IdAwaiter {
     ConsistentIdGenerator& gen;
-    std::uint64_t value = 0;
+    Micros raw = 0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      gen.next_id([this, h](std::uint64_t id) {
-        value = id;
-        gen.time_.simulator().after(0, [h] { h.resume(); });
-      });
+      if (!gen.time_.start_round(gen.thread_, ClockCallType::kClockGettime, h, &raw)) {
+        // Rejected (a round is already in flight on the generator's
+        // thread): resume with kNoTime instead of suspending forever.
+        raw = kNoTime;
+        gen.time_.scope().after(0, sim::Simulator::CoroResume{h});
+      }
     }
-    std::uint64_t await_resume() const noexcept { return value; }
+    std::uint64_t await_resume() noexcept { return ConsistentIdGenerator::mix(raw, ++gen.counter_, gen.ns_); }
   };
   [[nodiscard]] IdAwaiter make_id() { return IdAwaiter{*this, 0}; }
 

@@ -63,9 +63,11 @@ class TimeSyscalls {
       // service down mid-round destroys this frame instead of leaking it.
       if (!svc.start_round(thread, kType, h, &raw)) {
         // Rejected (round already in flight on this thread): resume with
-        // kNoTime rather than suspending forever.
+        // kNoTime rather than suspending forever.  The resume event is
+        // owned by the node's lifecycle scope like every other
+        // node-scheduled continuation.
         raw = kNoTime;
-        svc.simulator().after(0, sim::Simulator::CoroResume{h});
+        svc.scope().after(0, sim::Simulator::CoroResume{h});
       }
     }
     Result await_resume() const { return Convert(raw); }

@@ -159,6 +159,14 @@ class GcsEndpoint {
   [[nodiscard]] totem::TotemNode& totem() { return totem_; }
   [[nodiscard]] NodeId node_id() const { return totem_.id(); }
 
+  /// The host's lifecycle scope (owned by the underlying TotemNode).  GCS
+  /// itself schedules nothing — delivery and view-change callbacks run
+  /// synchronously from Totem delivery, which stops the instant the node
+  /// crashes — but the layers above (replication, CTS, ORB) reach their
+  /// node's scope through this accessor and must schedule node-owned work
+  /// there, never directly on the simulator.
+  [[nodiscard]] sim::TaskScope& scope() { return totem_.scope(); }
+
   /// Attach (or detach, with nullptr) an observability recorder.  Also
   /// wires the underlying Totem node.
   void set_recorder(obs::Recorder* rec);

@@ -13,8 +13,17 @@ void Network::attach(NodeId node, Handler handler) {
 
 void Network::detach(NodeId node) {
   handlers_.erase(node);
+  scopes_.erase(node);
   down_.erase(node);
   component_of_.erase(node);
+}
+
+void Network::bind_scope(NodeId node, sim::TaskScope* scope) {
+  if (scope == nullptr) {
+    scopes_.erase(node);
+  } else {
+    scopes_[node] = scope;
+  }
 }
 
 void Network::set_down(NodeId node, bool down) {
@@ -73,9 +82,9 @@ void Network::deliver(NodeId src, NodeId dst, SharedBytes payload, Micros depart
     }
   }
   const Micros arrive = depart + draw_hop_latency();
-  sim_.after(arrive - sim_.now(), [this, src, dst, p = std::move(payload)] {
+  auto on_arrive = [this, src, dst, p = std::move(payload)] {
     // Re-check liveness at delivery time: the destination may have crashed
-    // while the packet was in flight.
+    // while the packet was in flight without a scope to cancel the packet.
     auto it = handlers_.find(dst);
     if (is_down(dst) || it == handlers_.end()) {
       drop(src, dst, p.size());
@@ -84,7 +93,16 @@ void Network::deliver(NodeId src, NodeId dst, SharedBytes payload, Micros depart
     ++stats_.packets_delivered;
     if (c_delivered_) ++*c_delivered_;
     it->second(src, p);
-  });
+  };
+  // The in-flight packet belongs to the destination's lifecycle scope: a
+  // fail-stop shutdown cancels it mid-flight (the wire forgets packets to a
+  // dead NIC) instead of delivering-then-dropping after the crash.
+  auto sc = scopes_.find(dst);
+  if (sc != scopes_.end()) {
+    sc->second->after(arrive - sim_.now(), std::move(on_arrive));
+  } else {
+    sim_.after(arrive - sim_.now(), std::move(on_arrive));
+  }
 }
 
 void Network::drop(NodeId src, NodeId dst, std::size_t payload_size) {

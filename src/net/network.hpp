@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 
 namespace cts::net {
 
@@ -75,6 +76,12 @@ class Network {
   /// Detach a host entirely (used when simulating permanent removal).
   void detach(NodeId node);
 
+  /// Bind (or unbind, with nullptr) a host's lifecycle scope.  In-flight
+  /// packets to the host are scheduled through its scope, so a fail-stop
+  /// shutdown cancels them alongside the host's own timers.  Bound by the
+  /// host's TotemNode; unbound when it is destroyed.
+  void bind_scope(NodeId node, sim::TaskScope* scope);
+
   /// Mark a host down (crashed) or back up.  A down host neither receives
   /// packets nor should send them (its protocol stack is stopped).
   void set_down(NodeId node, bool down);
@@ -120,6 +127,7 @@ class Network {
   // deterministic schedule.  A hash map here would tie the RNG sequence to
   // hash-table layout, which varies across standard-library versions.
   std::map<NodeId, Handler> handlers_;
+  std::map<NodeId, sim::TaskScope*> scopes_;
   std::map<NodeId, bool> down_;
   // Per-node NIC: a host transmits one packet at a time at the wire rate,
   // so a burst (e.g. checkpoint fragments) queues behind itself.

@@ -10,20 +10,50 @@ RmiClient::RmiClient(sim::Simulator& sim, gcs::GcsEndpoint& gcs, GroupId client_
   gcs_.subscribe(client_group_, [this](const gcs::Message& m) { on_message(m); });
 }
 
+RmiClient::~RmiClient() {
+  // Timed invocations may still have their timeout timers armed; cancel
+  // them through the node's scope (which outlives the client) so they do
+  // not fire into freed memory.  Destroying `outstanding_` drops the
+  // completions, destroying any coroutine frames parked inside.
+  for (auto& [seq, out] : outstanding_) {
+    if (out.timed) gcs_.scope().cancel(out.timer);
+  }
+}
+
 MsgSeqNum RmiClient::invoke(Bytes request, ReplyFn on_reply, Micros timeout_us,
-                            std::function<void()> on_timeout) {
+                            TimeoutFn on_timeout) {
+  return invoke_complete(
+      std::move(request),
+      [on_reply = std::move(on_reply), on_timeout = std::move(on_timeout)](const Bytes* r) mutable {
+        if (r != nullptr) {
+          if (on_reply) on_reply(*r);
+        } else if (on_timeout) {
+          on_timeout();
+        }
+      },
+      timeout_us);
+}
+
+MsgSeqNum RmiClient::invoke_complete(Bytes request, CompleteFn complete, Micros timeout_us) {
   const MsgSeqNum seq = next_seq_++;
-  outstanding_[seq] = std::move(on_reply);
+  Outstanding out;
+  out.complete = std::move(complete);
 
   if (timeout_us > 0) {
-    sim_.after(timeout_us, [this, seq, on_timeout = std::move(on_timeout)] {
+    // The timer captures no frame — the completion in `outstanding_` is the
+    // single owner; the timer merely extracts it on expiry.  Scope-owned:
+    // a node crash cancels it.
+    out.timed = true;
+    out.timer = gcs_.scope().after(timeout_us, [this, seq] {
       auto it = outstanding_.find(seq);
       if (it == outstanding_.end()) return;  // reply arrived in time
+      auto fn = std::move(it->second.complete);
       outstanding_.erase(it);
       ++timeouts_;
-      if (on_timeout) on_timeout();
+      if (fn) fn(nullptr);
     });
   }
+  outstanding_.emplace(seq, std::move(out));
 
   gcs::Message m;
   m.hdr.type = gcs::MsgType::kUserRequest;
@@ -42,10 +72,13 @@ void RmiClient::on_message(const gcs::Message& m) {
   if (m.hdr.type != gcs::MsgType::kUserReply || m.hdr.conn != conn_) return;
   auto it = outstanding_.find(m.hdr.seq);
   if (it == outstanding_.end()) return;  // late duplicate after completion
-  auto fn = std::move(it->second);
+  // The reply won the race: disarm the timeout (cancellation consumes no
+  // sequence numbers, so the rest of the schedule is untouched).
+  if (it->second.timed) gcs_.scope().cancel(it->second.timer);
+  auto fn = std::move(it->second.complete);
   outstanding_.erase(it);
   ++replies_;
-  fn(m.payload);
+  fn(&m.payload);
 }
 
 }  // namespace cts::orb

@@ -16,15 +16,26 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "common/unique_fn.hpp"
 #include "gcs/gcs.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 
 namespace cts::orb {
 
 /// Client-side stub for a replicated server group.
 class RmiClient {
  public:
-  using ReplyFn = std::function<void(const Bytes&)>;
+  /// Completion callbacks are move-only (UniqueFn) so the coroutine
+  /// awaiters below can park their frame inside with destroy-on-drop
+  /// semantics: a client torn down with invocations in flight destroys the
+  /// suspended callers instead of leaking them.
+  using ReplyFn = UniqueFn<void(const Bytes&)>;
+  using TimeoutFn = UniqueFn<void()>;
+  /// Single-owner completion for timed invocations: called with the reply,
+  /// or with nullptr on timeout.  One callable owns the parked frame, so
+  /// there is exactly one owner no matter which way the race resolves.
+  using CompleteFn = UniqueFn<void(const Bytes*)>;
 
   /// `client_group` is this client's own (usually singleton) group; replies
   /// are addressed to it.  `conn` identifies the client→server connection.
@@ -33,6 +44,8 @@ class RmiClient {
 
   RmiClient(const RmiClient&) = delete;
   RmiClient& operator=(const RmiClient&) = delete;
+
+  ~RmiClient();
 
   /// Fire an invocation; `on_reply` runs when the (first) reply arrives.
   /// Returns the invocation's sequence number.
@@ -43,19 +56,27 @@ class RmiClient {
   /// here is the CLIENT's — the client is unreplicated, so its local clock
   /// is safe to use; replicated SERVERS must use GroupTimerService.
   MsgSeqNum invoke(Bytes request, ReplyFn on_reply, Micros timeout_us = 0,
-                   std::function<void()> on_timeout = nullptr);
+                   TimeoutFn on_timeout = nullptr);
+
+  /// Single-callback form: `complete` receives &reply, or nullptr on
+  /// timeout.  The awaiters use this so exactly one callable ever owns the
+  /// parked coroutine frame.
+  MsgSeqNum invoke_complete(Bytes request, CompleteFn complete, Micros timeout_us = 0);
 
   /// Awaitable form: `Bytes reply = co_await client.call(request);`
+  /// The completion callback owns the parked frame (CoroResume guard), and
+  /// the resume trampoline is owned by the client node's lifecycle scope.
   struct CallAwaiter {
     RmiClient& client;
     Bytes request;
     Bytes reply;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      client.invoke(std::move(request), [this, h](const Bytes& r) {
-        reply = r;
-        client.sim_.after(0, [h] { h.resume(); });
-      });
+      client.invoke_complete(std::move(request),
+                             [this, guard = sim::Simulator::CoroResume{h}](const Bytes* r) mutable {
+                               reply = *r;  // never null without a timeout
+                               client.gcs_.scope().after(0, std::move(guard));
+                             });
     }
     Bytes await_resume() { return std::move(reply); }
   };
@@ -71,17 +92,17 @@ class RmiClient {
     std::optional<Bytes> reply;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      client.invoke(
+      client.invoke_complete(
           std::move(request),
-          [this, h](const Bytes& r) {
-            reply = r;
-            client.sim_.after(0, [h] { h.resume(); });
+          [this, guard = sim::Simulator::CoroResume{h}](const Bytes* r) mutable {
+            if (r != nullptr) {
+              reply = *r;
+            } else {
+              reply = std::nullopt;
+            }
+            client.gcs_.scope().after(0, std::move(guard));
           },
-          timeout_us,
-          [this, h] {
-            reply = std::nullopt;
-            client.sim_.after(0, [h] { h.resume(); });
-          });
+          timeout_us);
     }
     std::optional<Bytes> await_resume() { return std::move(reply); }
   };
@@ -94,6 +115,15 @@ class RmiClient {
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
 
  private:
+  /// One in-flight invocation: the (single-owner) completion plus its
+  /// timeout timer, if timed.  The timer is scope-owned and cancelled when
+  /// the reply wins the race or the client is destroyed.
+  struct Outstanding {
+    CompleteFn complete;
+    sim::Simulator::EventId timer{};
+    bool timed = false;
+  };
+
   void on_message(const gcs::Message& m);
 
   sim::Simulator& sim_;
@@ -102,11 +132,12 @@ class RmiClient {
   GroupId server_group_;
   ConnectionId conn_;
   MsgSeqNum next_seq_ = 1;
-  std::map<MsgSeqNum, ReplyFn> outstanding_;
+  std::map<MsgSeqNum, Outstanding> outstanding_;
   std::uint64_t replies_ = 0;
   std::uint64_t timeouts_ = 0;
 
   friend struct CallAwaiter;
+  friend struct TimedCallAwaiter;
 };
 
 }  // namespace cts::orb

@@ -26,8 +26,10 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "common/unique_fn.hpp"
 #include "gcs/gcs.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 
 namespace cts::replication {
 
@@ -36,7 +38,11 @@ class DecisionRelay {
   /// Produces this replica's local value for a decision (only consulted at
   /// the primary, or at a backup promoted mid-round).
   using DeciderFn = std::function<Bytes()>;
-  using DoneFn = std::function<void(Bytes)>;
+  /// Move-only so the coroutine awaiter below can park its frame inside
+  /// with destroy-on-drop semantics: a relay torn down (or a stream
+  /// abandoned) with a decision in flight destroys the suspended caller
+  /// instead of leaking it.
+  using DoneFn = UniqueFn<void(Bytes)>;
 
   DecisionRelay(sim::Simulator& sim, gcs::GcsEndpoint& gcs, GroupId group, ConnectionId conn,
                 ReplicaId replica)
@@ -63,7 +69,10 @@ class DecisionRelay {
     try_complete(st);
   }
 
-  /// Awaitable form for coroutine threads.
+  /// Awaitable form for coroutine threads.  The parked frame is owned by
+  /// the completion callback (CoroResume guard): dropping the callback
+  /// destroys the frame, and the resume trampoline is owned by the node's
+  /// lifecycle scope so it dies with the node.
   struct Awaiter {
     DecisionRelay& relay;
     ThreadId stream;
@@ -71,10 +80,11 @@ class DecisionRelay {
     Bytes value;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      relay.decide(stream, std::move(decider), [this, h](Bytes v) {
-        value = std::move(v);
-        relay.sim_.after(0, [h] { h.resume(); });
-      });
+      relay.decide(stream, std::move(decider),
+                   [this, guard = sim::Simulator::CoroResume{h}](Bytes v) mutable {
+                     value = std::move(v);
+                     relay.gcs_.scope().after(0, std::move(guard));
+                   });
     }
     Bytes await_resume() { return std::move(value); }
   };

@@ -25,6 +25,7 @@ ReplicaManager::ReplicaManager(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
                                ReplicaFactory factory)
     : sim_(sim),
       gcs_(gcs),
+      scope_(gcs.scope()),
       cfg_(cfg),
       cts_(sim, gcs, clk, [&cfg] {
         ccs::CtsConfig c;
@@ -61,8 +62,13 @@ ReplicaManager::ReplicaManager(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
 ReplicaManager::~ReplicaManager() {
   // Self-referential timers (GET_STATE retry, pump trampolines) may still
   // be pending — e.g. Testbed::restart_server destroys the old manager
-  // mid-simulation.  They hold the token and bail out when it is false.
-  *alive_ = false;
+  // mid-simulation.  Cancel them through the node's scope, which outlives
+  // the manager; cancellation consumes no sequence numbers, so surviving
+  // events keep their positions in the deterministic schedule.
+  if (get_state_armed_) scope_.cancel(get_state_timer_);
+  for (auto& sh : shards_) {
+    if (sh.pump_armed) scope_.cancel(sh.pump_event);
+  }
 }
 
 void ReplicaManager::start() {
@@ -70,7 +76,7 @@ void ReplicaManager::start() {
   gcs_.join_group(cfg_.group, cfg_.replica);
 }
 
-void ReplicaManager::start_recovering(std::function<void()> recovered) {
+void ReplicaManager::start_recovering(UniqueFn<void()> recovered) {
   recovering_ = true;
   clock_initialized_ = false;
   saw_own_get_state_ = false;
@@ -110,14 +116,19 @@ void ReplicaManager::send_get_state() {
   recovery_epoch_ = m.hdr.seq;
   gcs_.send(std::move(m));
 
-  sim_.after(kGetStateRetryUs, [this, alive = alive_, epoch = recovery_epoch_] {
-    if (!*alive) return;
+  // Re-issues can overlap an armed retry (e.g. a checkpoint raced clock
+  // initialization): drop the stale timer first — it would only bail on its
+  // epoch check anyway, and cancellation consumes no sequence numbers.
+  if (get_state_armed_) scope_.cancel(get_state_timer_);
+  get_state_timer_ = scope_.after(kGetStateRetryUs, [this, epoch = recovery_epoch_] {
+    get_state_armed_ = false;
     if (recovering_ && recovery_epoch_ == epoch) {
       CTS_WARN() << "replica " << to_string(cfg_.replica)
                  << " state transfer timed out; re-issuing GET_STATE";
       send_get_state();
     }
   });
+  get_state_armed_ = true;
 }
 
 void ReplicaManager::start_cold() {
@@ -283,13 +294,19 @@ void ReplicaManager::process(std::uint32_t shard, PendingRequest req) {
         since_checkpoint_ >= cfg_.checkpoint_every_requests) {
       take_periodic_checkpoint();
     }
-    shards_[shard].processing = false;
+    Shard& sh = shards_[shard];
+    sh.processing = false;
     maybe_persist_after_request();
     // Trampoline through the event queue so long synchronous bursts do not
-    // recurse.
-    sim_.after(0, [this, alive = alive_, shard] {
-      if (*alive) pump(shard);
-    });
+    // recurse.  The event is scope-owned: a crash (or manager destruction)
+    // cancels it instead of pumping a dead replica.
+    if (!sh.pump_armed) {
+      sh.pump_armed = true;
+      sh.pump_event = scope_.after(0, [this, shard] {
+        shards_[shard].pump_armed = false;
+        pump(shard);
+      });
+    }
   });
 }
 
@@ -410,15 +427,19 @@ void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
       rec_->event(obs::EventKind::kCheckpointTaken, gcs_.node_id(), cfg_.replica,
                   static_cast<std::int64_t>(ckpt_bytes));
     }
-    // Release the barriers.
+    // Release the barriers (scope-owned trampolines, same as pump()).
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
       Shard& sh = shards_[s];
       assert(sh.at_barrier && !sh.queue.empty());
       sh.queue.pop_front();
       sh.at_barrier = false;
-      sim_.after(0, [this, alive = alive_, s] {
-        if (*alive) pump(s);
-      });
+      if (!sh.pump_armed) {
+        sh.pump_armed = true;
+        sh.pump_event = scope_.after(0, [this, s] {
+          shards_[s].pump_armed = false;
+          pump(s);
+        });
+      }
     }
   });
 }

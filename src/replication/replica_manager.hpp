@@ -32,10 +32,12 @@
 #include <vector>
 
 #include "clock/physical_clock.hpp"
+#include "common/unique_fn.hpp"
 #include "cts/consistent_time_service.hpp"
 #include "gcs/gcs.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 #include "storage/stable_store.hpp"
 
 namespace cts::replication {
@@ -111,8 +113,11 @@ class ReplicaManager {
 
   /// Join the group as a recovering member: multicast GET_STATE, adopt the
   /// special CCS round, apply the checkpoint, then start processing.
-  /// `recovered` fires once the replica is fully integrated.
-  void start_recovering(std::function<void()> recovered = nullptr);
+  /// `recovered` fires once the replica is fully integrated.  The
+  /// continuation is move-only with destroy-on-drop semantics: if the
+  /// manager is torn down mid-recovery the continuation is destroyed,
+  /// never invoked, and never leaked.
+  void start_recovering(UniqueFn<void()> recovered = nullptr);
 
   /// Cold start after a TOTAL group failure: restore the newest local
   /// checkpoint from stable storage (if any), join the group, and announce
@@ -165,6 +170,13 @@ class ReplicaManager {
 
   sim::Simulator& sim_;
   gcs::GcsEndpoint& gcs_;
+  /// The node's lifecycle scope (owned by the TotemNode underneath the GCS
+  /// endpoint).  Every timer and trampoline this manager schedules is
+  /// registered here: a fail-stop crash cancels them wholesale, and the
+  /// destructor cancels this incarnation's own events (the scope outlives
+  /// the manager — restart_server replaces the manager while the node's
+  /// Totem daemon persists).
+  sim::TaskScope& scope_;
   ManagerConfig cfg_;
   ccs::ConsistentTimeService cts_;
 
@@ -173,7 +185,12 @@ class ReplicaManager {
   bool clock_initialized_ = false;   // recovering: special round adopted
   bool saw_own_get_state_ = false;   // recovering: our GET_STATE was ordered
   MsgSeqNum recovery_epoch_ = 0;     // seq of our outstanding GET_STATE
-  std::function<void()> recovered_cb_;
+  UniqueFn<void()> recovered_cb_;
+
+  // The GET_STATE retry timer, cancelled on destruction/crash instead of
+  // firing into a freed (or dead) manager.
+  sim::Simulator::EventId get_state_timer_{};
+  bool get_state_armed_ = false;
 
   // Per-shard serialized request processing; shards run concurrently.
   // A kGetState entry acts as a barrier: the shard stalls on it until
@@ -185,6 +202,10 @@ class ReplicaManager {
     std::deque<PendingRequest> queue;
     bool processing = false;
     bool at_barrier = false;
+    // The pump trampoline through the event queue (at most one in flight
+    // per shard), scope-owned like every other node event.
+    sim::Simulator::EventId pump_event{};
+    bool pump_armed = false;
   };
   std::vector<Shard> shards_;
   std::uint64_t delivery_count_ = 0;   // requests delivered so far (total order)
@@ -204,13 +225,6 @@ class ReplicaManager {
 
   ManagerStats stats_;
   obs::Recorder* rec_ = nullptr;
-
-  // Liveness token captured by the manager's self-referential timers (the
-  // GET_STATE retry and the pump trampolines).  Testbed::restart_server
-  // destroys a manager while such timers are still pending; they fire on
-  // schedule (so the deterministic event sequence is unchanged) but bail
-  // out instead of touching the freed object.
-  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace cts::replication

@@ -103,6 +103,17 @@ class EventHeap {
     return true;
   }
 
+  /// Whether `h` still refers to a pending (unfired, uncancelled) entry.
+  /// Lifecycle scopes use this to prune stale ids from their registries
+  /// without touching the heap structure.
+  [[nodiscard]] bool live(Handle h) const {
+    if ((h & 0xffffffffu) == 0) return false;
+    const std::uint32_t s = slot_index(h);
+    if (s >= slots_.size()) return false;
+    const Slot& slot = slots_[s];
+    return slot.generation == static_cast<std::uint32_t>(h >> 32) && slot.heap_pos != kFreePos;
+  }
+
   /// Re-key the live entry behind `h` to (new_time, new_seq), keeping its
   /// callback and handle.  Returns false if the handle is stale.
   bool reschedule(Handle h, Micros new_time, std::uint64_t new_seq) {

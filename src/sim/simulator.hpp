@@ -86,8 +86,16 @@ class Simulator {
 
   /// Cancel a previously scheduled callback; a no-op if it already fired
   /// (or was already cancelled).  The entry is removed in place — repeated
-  /// cancel-after-fire churn leaves nothing behind.
-  void cancel(EventId ev) { heap_.cancel(ev.id); }
+  /// cancel-after-fire churn leaves nothing behind.  Returns true only if a
+  /// pending event was actually removed, so callers (TaskScope::shutdown)
+  /// can count real cancellations.
+  ///
+  /// Determinism: cancel consumes no sequence number, so cancellation
+  /// sweeps never perturb the numbering of later-scheduled events.
+  bool cancel(EventId ev) { return heap_.cancel(ev.id); }
+
+  /// Whether `ev` is still pending (scheduled, unfired, uncancelled).
+  [[nodiscard]] bool scheduled(EventId ev) const { return heap_.live(ev.id); }
 
   /// Move a still-pending callback to absolute time `t` (>= now), keeping
   /// its callback and handle.  Returns false if the event already fired or

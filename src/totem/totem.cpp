@@ -24,9 +24,17 @@ std::uint32_t fnv1a(std::span<const std::uint8_t> data, std::size_t from) {
 }
 
 TotemNode::TotemNode(sim::Simulator& sim, net::Network& net, NodeId id, TotemConfig cfg)
-    : sim_(sim), net_(net), id_(id), cfg_(std::move(cfg)) {
+    : sim_(sim), net_(net), id_(id), cfg_(std::move(cfg)), scope_(sim) {
   assert(std::is_sorted(cfg_.universe.begin(), cfg_.universe.end()));
+  // In-flight packets to this host belong to its lifecycle scope, so a
+  // fail-stop shutdown cancels them mid-flight.
+  net_.bind_scope(id_, &scope_);
+  // Fail-stop: shutting the scope down crashes the daemon first (hooks run
+  // before the timer sweep), then cancels everything the host scheduled.
+  scope_.on_shutdown([this] { crash(); });
 }
+
+TotemNode::~TotemNode() { net_.bind_scope(id_, nullptr); }
 
 // --- Wire formats ----------------------------------------------------------
 
@@ -161,12 +169,12 @@ bool TotemNode::cancel(std::uint64_t handle) {
 // --- Timer plumbing -----------------------------------------------------------
 
 void TotemNode::cancel_timers() {
-  if (seek_armed_) sim_.cancel(seek_timer_), seek_armed_ = false;
-  if (token_loss_armed_) sim_.cancel(token_loss_timer_), token_loss_armed_ = false;
-  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
-  if (gather_armed_) sim_.cancel(gather_timer_), gather_armed_ = false;
-  if (commit_armed_) sim_.cancel(commit_timer_), commit_armed_ = false;
-  if (recovery_armed_) sim_.cancel(recovery_timer_), recovery_armed_ = false;
+  if (seek_armed_) scope_.cancel(seek_timer_), seek_armed_ = false;
+  if (token_loss_armed_) scope_.cancel(token_loss_timer_), token_loss_armed_ = false;
+  if (token_retrans_armed_) scope_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+  if (gather_armed_) scope_.cancel(gather_timer_), gather_armed_ = false;
+  if (commit_armed_) scope_.cancel(commit_timer_), commit_armed_ = false;
+  if (recovery_armed_) scope_.cancel(recovery_timer_), recovery_armed_ = false;
 }
 
 void TotemNode::reset_token_loss_timer() {
@@ -174,11 +182,11 @@ void TotemNode::reset_token_loss_timer() {
   // of a cancel+insert pair.  The reused closure's captured epoch is still
   // current — epoch only changes on crash(), which cancels all timers.
   if (token_loss_armed_ &&
-      sim_.reschedule(token_loss_timer_, sim_.now() + cfg_.token_loss_timeout_us)) {
+      scope_.reschedule(token_loss_timer_, sim_.now() + cfg_.token_loss_timeout_us)) {
     return;
   }
   token_loss_armed_ = true;
-  token_loss_timer_ = sim_.after(cfg_.token_loss_timeout_us, [this, e = epoch_] {
+  token_loss_timer_ = scope_.after(cfg_.token_loss_timeout_us, [this, e = epoch_] {
     if (e != epoch_ || state_ != State::kOperational) return;
     token_loss_armed_ = false;
     enter_gather("token loss");
@@ -297,7 +305,7 @@ void TotemNode::handle_token(Token tok) {
   if (token_obs_) token_obs_();
 
   // Progress: the ring is alive.
-  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+  if (token_retrans_armed_) scope_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
   reset_token_loss_timer();
 
   // 1. Service retransmission requests for messages we hold.
@@ -385,7 +393,7 @@ void TotemNode::handle_token(Token tok) {
   deliver_contiguous();
 
   // 5. Forward the token after the hold time.
-  sim_.after(cfg_.token_hold_us, [this, e = epoch_, tok = std::move(tok)]() mutable {
+  scope_.after(cfg_.token_hold_us, [this, e = epoch_, tok = std::move(tok)]() mutable {
     if (e != epoch_ || state_ != State::kOperational || tok.ring_id != view_.ring_id) return;
     send_token_to_successor(std::move(tok));
   });
@@ -400,7 +408,7 @@ void TotemNode::send_token_to_successor(Token tok) {
   if (next == id_) {
     // Singleton ring: loop the token back to ourselves through the event
     // queue so time still advances.
-    sim_.after(cfg_.token_hold_us + 1, [this, e = epoch_, tok] {
+    scope_.after(cfg_.token_hold_us + 1, [this, e = epoch_, tok] {
       if (e != epoch_) return;
       handle_token(tok);
     });
@@ -415,11 +423,11 @@ void TotemNode::arm_token_retrans() {
   // Re-armed on every token we forward; re-key the live timer when possible
   // (see reset_token_loss_timer for the epoch argument).
   if (token_retrans_armed_ &&
-      sim_.reschedule(token_retrans_timer_, sim_.now() + cfg_.token_retrans_timeout_us)) {
+      scope_.reschedule(token_retrans_timer_, sim_.now() + cfg_.token_retrans_timeout_us)) {
     return;
   }
   token_retrans_armed_ = true;
-  token_retrans_timer_ = sim_.after(cfg_.token_retrans_timeout_us, [this, e = epoch_] {
+  token_retrans_timer_ = scope_.after(cfg_.token_retrans_timeout_us, [this, e = epoch_] {
     if (e != epoch_ || state_ != State::kOperational || !last_sent_token_) return;
     token_retrans_armed_ = false;
     // Give up after a few attempts: the token-loss timeout will rebuild the
@@ -443,7 +451,7 @@ void TotemNode::handle_mcast(Mcast m) {
     if (m.ring_id == view_.ring_id) {
       store_and_deliver(std::move(m));
       // Seeing traffic means the token moved on: stop retransmitting it.
-      if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+      if (token_retrans_armed_) scope_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
       return;
     }
     if (!known_rings_.contains(m.ring_id)) {
@@ -495,19 +503,19 @@ void TotemNode::enter_gather(const char* reason) {
   CTS_DEBUG() << to_string(id_) << " entering gather (" << reason << ")";
   // Leaving operational: stop the ring timers; keep store_ (old-ring
   // messages are recovered after the next commit).
-  if (token_loss_armed_) sim_.cancel(token_loss_timer_), token_loss_armed_ = false;
-  if (token_retrans_armed_) sim_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
-  if (commit_armed_) sim_.cancel(commit_timer_), commit_armed_ = false;
-  if (recovery_armed_) sim_.cancel(recovery_timer_), recovery_armed_ = false;
+  if (token_loss_armed_) scope_.cancel(token_loss_timer_), token_loss_armed_ = false;
+  if (token_retrans_armed_) scope_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+  if (commit_armed_) scope_.cancel(commit_timer_), commit_armed_ = false;
+  if (recovery_armed_) scope_.cancel(recovery_timer_), recovery_armed_ = false;
   state_ = State::kGather;
   joins_.clear();
   perceived_.clear();
   perceived_.insert(id_);
   broadcast_join();
 
-  if (gather_armed_) sim_.cancel(gather_timer_);
+  if (gather_armed_) scope_.cancel(gather_timer_);
   gather_armed_ = true;
-  gather_timer_ = sim_.after(cfg_.gather_timeout_us, [this, e = epoch_] {
+  gather_timer_ = scope_.after(cfg_.gather_timeout_us, [this, e = epoch_] {
     if (e != epoch_ || state_ != State::kGather) return;
     gather_armed_ = false;
     on_gather_deadline();
@@ -550,9 +558,9 @@ void TotemNode::handle_join(const Join& j) {
     // Our view of the candidate set changed: re-announce and give everyone
     // time to converge on the same set.
     broadcast_join();
-    if (gather_armed_) sim_.cancel(gather_timer_);
+    if (gather_armed_) scope_.cancel(gather_timer_);
     gather_armed_ = true;
-    gather_timer_ = sim_.after(cfg_.gather_timeout_us, [this, e = epoch_] {
+    gather_timer_ = scope_.after(cfg_.gather_timeout_us, [this, e = epoch_] {
       if (e != epoch_ || state_ != State::kGather) return;
       gather_armed_ = false;
       on_gather_deadline();
@@ -585,9 +593,9 @@ void TotemNode::on_gather_deadline() {
   } else {
     // Wait for the representative's commit; regather if it never comes
     // (e.g. the representative crashed right after the gather phase).
-    if (commit_armed_) sim_.cancel(commit_timer_);
+    if (commit_armed_) scope_.cancel(commit_timer_);
     commit_armed_ = true;
-    commit_timer_ = sim_.after(cfg_.commit_timeout_us, [this, e = epoch_] {
+    commit_timer_ = scope_.after(cfg_.commit_timeout_us, [this, e = epoch_] {
       if (e != epoch_ || state_ != State::kGather) return;
       commit_armed_ = false;
       enter_gather("commit timeout");
@@ -601,8 +609,8 @@ void TotemNode::handle_commit(const Commit& c) {
   for (const auto& m : c.members) me_in |= (m.node == id_);
   if (!me_in) return;
   if (c.new_ring_id <= max_ring_seen_) return;  // stale commit
-  if (gather_armed_) sim_.cancel(gather_timer_), gather_armed_ = false;
-  if (commit_armed_) sim_.cancel(commit_timer_), commit_armed_ = false;
+  if (gather_armed_) scope_.cancel(gather_timer_), gather_armed_ = false;
+  if (commit_armed_) scope_.cancel(commit_timer_), commit_armed_ = false;
   begin_recovery(c);
 }
 
@@ -636,9 +644,9 @@ void TotemNode::begin_recovery(const Commit& c) {
     }
   }
 
-  if (recovery_armed_) sim_.cancel(recovery_timer_);
+  if (recovery_armed_) scope_.cancel(recovery_timer_);
   recovery_armed_ = true;
-  recovery_timer_ = sim_.after(cfg_.recovery_timeout_us, [this, e = epoch_] {
+  recovery_timer_ = scope_.after(cfg_.recovery_timeout_us, [this, e = epoch_] {
     if (e != epoch_ || state_ != State::kRecover) return;
     recovery_armed_ = false;
     finish_recovery();
@@ -712,13 +720,13 @@ void TotemNode::install(const View& v) {
   if (view_cb_) view_cb_(view_);
 
   reset_token_loss_timer();
-  if (seek_armed_) sim_.cancel(seek_timer_), seek_armed_ = false;
+  if (seek_armed_) scope_.cancel(seek_timer_), seek_armed_ = false;
   if (!view_.primary) {
     // Keep looking for the rest of the universe: once the partition heals,
     // the periodic Join reaches the primary component and triggers a merge
     // even if nobody is multicasting.
     seek_armed_ = true;
-    seek_timer_ = sim_.after(cfg_.seek_interval_us, [this, e = epoch_] {
+    seek_timer_ = scope_.after(cfg_.seek_interval_us, [this, e = epoch_] {
       if (e != epoch_ || state_ != State::kOperational || view_.primary) return;
       seek_armed_ = false;
       enter_gather("seeking primary component");
@@ -731,7 +739,7 @@ void TotemNode::install(const View& v) {
     tok.token_seq = 1;
     tok.seq = 0;
     tok.aru = 0;
-    sim_.after(cfg_.token_hold_us, [this, e = epoch_, tok] {
+    scope_.after(cfg_.token_hold_us, [this, e = epoch_, tok] {
       if (e != epoch_) return;
       handle_token(tok);
     });

@@ -46,6 +46,7 @@
 #include "net/network.hpp"
 #include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task_scope.hpp"
 
 namespace cts::totem {
 
@@ -117,6 +118,8 @@ struct TotemStats {
   std::uint64_t msgs_cancelled = 0;  // cancelled while still queued
   std::uint64_t membership_changes = 0;
   std::uint64_t window_stalls = 0;  // token visits that left the send queue non-empty
+
+  friend bool operator==(const TotemStats&, const TotemStats&) = default;
 };
 
 /// One Totem protocol instance (one per simulated host).
@@ -132,9 +135,19 @@ class TotemNode {
   enum class State { kDown, kGather, kRecover, kOperational };
 
   TotemNode(sim::Simulator& sim, net::Network& net, NodeId id, TotemConfig cfg);
+  ~TotemNode();
 
   TotemNode(const TotemNode&) = delete;
   TotemNode& operator=(const TotemNode&) = delete;
+
+  /// The node's lifecycle scope.  The Totem daemon is the per-host root of
+  /// the protocol stack (one per PC in the paper's testbed), so it owns the
+  /// host's scope; every higher layer (GCS, replication, CTS, ORB) reaches
+  /// it through accessor chains and schedules its node-owned work here.
+  /// `scope().shutdown()` is the fail-stop crash switch: it runs the
+  /// layers' shutdown hooks (this daemon's hook calls crash()) and cancels
+  /// every timer, in-flight delivery, and parked resume the node owns.
+  [[nodiscard]] sim::TaskScope& scope() { return scope_; }
 
   /// Boot the node: attaches to the network and starts forming a ring.
   void start();
@@ -257,6 +270,9 @@ class TotemNode {
   net::Network& net_;
   NodeId id_;
   TotemConfig cfg_;
+  // The host's lifecycle scope (see scope()).  Declared after the refs it
+  // captures; owns no protocol state of its own.
+  sim::TaskScope scope_;
 
   State state_ = State::kDown;
   View view_;

@@ -36,6 +36,20 @@ TestbedConfig durable_cfg(std::uint64_t seed = 1) {
   return cfg;
 }
 
+// The lifecycle-scope fail-stop tripwire: no server may read its hardware
+// clock while crashed (scope shutdown cancels every timer and destroys
+// every suspended frame the node owned, so nothing is left to read it).
+// RAII so every test exit path checks it.
+struct FailStopCheck {
+  Testbed& tb;
+  ~FailStopCheck() {
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      EXPECT_EQ(tb.clock_of(tb.server_node(s)).reads_after_failure(), 0u)
+          << "server " << s << " read its clock while crashed";
+    }
+  }
+};
+
 // --- StableStore unit tests -----------------------------------------------------
 
 TEST(StableStoreTest, WriteThenReadBack) {
@@ -90,6 +104,7 @@ TEST(StableStoreTest, FsyncLatencyIsWithinConfiguredBounds) {
 TEST(ColdStartTest, ReplicasPersistCheckpointsWhileRunning) {
   Testbed tb(durable_cfg());
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Micros> stamps;
   bool done = false;
   drive(tb, 30, stamps, &done);
@@ -106,6 +121,7 @@ TEST(ColdStartTest, ReplicasPersistCheckpointsWhileRunning) {
 TEST(ColdStartTest, GroupClockMonotoneAcrossTotalFailure) {
   Testbed tb(durable_cfg(3));
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   std::vector<Micros> before;
   bool done1 = false;
@@ -138,6 +154,7 @@ TEST(ColdStartTest, GroupClockMonotoneAcrossTotalFailure) {
 TEST(ColdStartTest, StateSurvivesTotalFailure) {
   Testbed tb(durable_cfg(4));
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Micros> stamps;
   bool done = false;
   drive(tb, 20, stamps, &done);
@@ -168,6 +185,7 @@ TEST(ColdStartTest, StateSurvivesTotalFailure) {
 TEST(ColdStartTest, StalestDiskCatchesUpFromFreshest) {
   Testbed tb(durable_cfg(5));
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Micros> stamps;
   bool done = false;
   drive(tb, 20, stamps, &done);
@@ -199,6 +217,7 @@ TEST(ColdStartTest, DurableKvStoreSurvivesTotalFailureWithLeases) {
   cfg.factory = kv_store_factory();
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   auto call = [&](Bytes req) {
     KvReply out;
@@ -242,6 +261,7 @@ TEST(ColdStartTest, ColdStartWithEmptyDisksStillForms) {
   // from scratch and works normally.
   Testbed tb(durable_cfg(6));
   tb.start();
+  FailStopCheck fail_stop{tb};
   for (std::uint32_t s = 0; s < 3; ++s) tb.crash_server(s);
   tb.sim().run_for(2'000'000);
   for (std::uint32_t s = 0; s < 3; ++s) tb.cold_restart_server(s);

@@ -63,6 +63,11 @@ Trace run_time_server(std::uint64_t seed, ReplicationStyle style, bool with_faul
     t.ccs_wire += tb.gcs_of(tb.server_node(s)).stats().on_wire(gcs::MsgType::kCcs);
   }
   t.packets = tb.net().stats().packets_sent;
+  // Fail-stop tripwire: even on the fault schedules, no replica ever read
+  // its hardware clock while crashed.
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(tb.clock_of(tb.server_node(s)).reads_after_failure(), 0u) << "server " << s;
+  }
   return t;
 }
 

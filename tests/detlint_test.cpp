@@ -198,6 +198,60 @@ TEST(DetlintTest, HeapCallbackSuppressible) {
   EXPECT_TRUE(lint_content("src/net/a.hpp", src).empty());
 }
 
+// --- scoped-timer --------------------------------------------------------------
+
+TEST(DetlintTest, DirectSimSchedulingFlaggedInNodeLayers) {
+  for (const char* dir : {"src/totem/a.cpp", "src/gcs/a.cpp", "src/replication/a.cpp",
+                          "src/orb/a.cpp", "src/cts/a.hpp", "src/app/a.hpp"}) {
+    const auto fs = lint_content(dir, "sim_.after(10, [this] { tick(); });\n");
+    ASSERT_TRUE(has_rule(fs, "scoped-timer")) << dir;
+    for (const Finding& f : fs) {
+      if (f.rule == "scoped-timer") {
+        EXPECT_EQ(f.severity, Severity::kWarning);  // advisory, not gating
+      }
+    }
+  }
+  // All the spellings a node layer reaches the simulator by.
+  EXPECT_TRUE(has_rule(lint_content("src/cts/a.hpp", "svc.simulator().after(0, cb);\n"),
+                       "scoped-timer"));
+  EXPECT_TRUE(has_rule(lint_content("src/cts/a.hpp", "sim_.at(deadline, cb);\n"), "scoped-timer"));
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", "co_await ctx_.sim.delay(5);\n"),
+                       "scoped-timer"));
+  EXPECT_TRUE(has_rule(lint_content("src/totem/a.cpp", "sim_.reschedule(ev, t);\n"),
+                       "scoped-timer"));
+}
+
+TEST(DetlintTest, ScopedSchedulingNotFlagged) {
+  // The sanctioned path: the node's lifecycle scope.
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp", "scope_.after(10, cb);\n"),
+                        "scoped-timer"));
+  EXPECT_FALSE(has_rule(lint_content("src/cts/a.hpp", "svc.scope().after(0, cb);\n"),
+                        "scoped-timer"));
+  EXPECT_FALSE(has_rule(lint_content("src/app/a.cpp",
+                                     "co_await ctx_.time.scope().delay(5);\n"),
+                        "scoped-timer"));
+  // Non-scheduling simulator reads stay legal.
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp", "const Micros t = sim_.now();\n"),
+                        "scoped-timer"));
+}
+
+TEST(DetlintTest, DirectSimSchedulingAllowedOutsideNodeLayers) {
+  const std::string src = "sim_.after(10, cb);\n";
+  // src/net schedules on the destination's scope internally; src/sim owns
+  // the primitive; baselines and storage model node-independent hardware.
+  EXPECT_FALSE(has_rule(lint_content("src/net/network.cpp", src), "scoped-timer"));
+  EXPECT_FALSE(has_rule(lint_content("src/sim/task_scope.hpp", src), "scoped-timer"));
+  EXPECT_FALSE(has_rule(lint_content("src/baseline/a.cpp", src), "scoped-timer"));
+  EXPECT_FALSE(has_rule(lint_content("src/storage/a.hpp", src), "scoped-timer"));
+  EXPECT_FALSE(has_rule(lint_content("tests/a_test.cpp", src), "scoped-timer"));
+}
+
+TEST(DetlintTest, ScopedTimerSuppressible) {
+  const std::string src =
+      "sim_.after(10, cb);  // detlint:allow(scoped-timer): node-independent hardware model\n";
+  EXPECT_TRUE(lint_content("src/cts/a.hpp", src).empty());
+}
+
 // --- comment/string awareness --------------------------------------------------
 
 TEST(DetlintTest, CommentsAndStringsAreNotCode) {

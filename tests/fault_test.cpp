@@ -39,6 +39,20 @@ sim::Task drive_client(Testbed& tb, int invocations, std::vector<Bytes>& replies
   }
 }
 
+// The lifecycle-scope fail-stop tripwire: no server may read its hardware
+// clock while crashed (scope shutdown cancels every timer and destroys
+// every suspended frame the node owned, so nothing is left to read it).
+// RAII so every test exit path checks it.
+struct FailStopCheck {
+  Testbed& tb;
+  ~FailStopCheck() {
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      EXPECT_EQ(tb.clock_of(tb.server_node(s)).reads_after_failure(), 0u)
+          << "server " << s << " read its clock while crashed";
+    }
+  }
+};
+
 // --- Failover: semi-active --------------------------------------------------------
 
 TEST(FailoverTest, SemiActivePrimaryCrashKeepsClientProgressing) {
@@ -46,6 +60,7 @@ TEST(FailoverTest, SemiActivePrimaryCrashKeepsClientProgressing) {
   cfg.style = ReplicationStyle::kSemiActive;
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   std::vector<Bytes> replies;
   drive_client(tb, 40, replies);
@@ -76,6 +91,7 @@ TEST(FailoverTest, SemiActiveClockNeverRollsBackAcrossFailover) {
   cfg.max_clock_offset_us = 800'000;  // strongly disagreeing hardware clocks
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   std::vector<Bytes> replies;
   drive_client(tb, 30, replies);
@@ -96,6 +112,7 @@ TEST(FailoverTest, SemiActiveSurvivorsStayConsistent) {
   cfg.style = ReplicationStyle::kSemiActive;
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 30, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 10; }, 60'000'000));
@@ -124,6 +141,7 @@ TEST(FailoverTest, PassivePromotionReplaysLoggedRequests) {
   cfg.checkpoint_every = 5;
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   std::vector<Bytes> replies;
   drive_client(tb, 40, replies);
@@ -157,6 +175,7 @@ TEST(FailoverTest, FastRestartOfPrimaryDoesNotLeaveAGhostMember) {
   cfg.style = ReplicationStyle::kSemiActive;
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   std::vector<Bytes> replies;
   drive_client(tb, 30, replies);
@@ -186,6 +205,7 @@ TEST(FailoverTest, FastRestartOfPrimaryDoesNotLeaveAGhostMember) {
 TEST(RecoveryTest, RestartedReplicaRejoinsViaStateTransfer) {
   Testbed tb({});
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 60, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 15; }, 60'000'000));
@@ -210,6 +230,7 @@ TEST(RecoveryTest, RestartedReplicaRejoinsViaStateTransfer) {
 TEST(RecoveryTest, SpecialRoundInitializesTheNewClock) {
   Testbed tb({});
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 30, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 10; }, 60'000'000));
@@ -238,6 +259,7 @@ TEST(RecoveryTest, SpecialRoundInitializesTheNewClock) {
 TEST(RecoveryTest, MonotonicityHoldsAcrossRecovery) {
   Testbed tb({});
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 50, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 10; }, 60'000'000));
@@ -255,6 +277,7 @@ TEST(RecoveryTest, MonotonicityHoldsAcrossRecovery) {
 TEST(RecoveryTest, RepeatedCrashRecoverCycles) {
   Testbed tb({});
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 60, replies);
   for (int cycle = 0; cycle < 3; ++cycle) {
@@ -380,6 +403,7 @@ TEST(BaselineTest, CtsDoesNotRollBackInTheSameScenario) {
   cfg.max_clock_offset_us = 800'000;
   Testbed tb(cfg);
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 20, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 8; }, 60'000'000));
@@ -399,6 +423,7 @@ TEST(ClockStepTest, GroupClockAbsorbsAHugeForwardStep) {
   // the next round re-derives that replica's offset and life goes on.
   Testbed tb({});
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 40, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 15; }, 60'000'000));
@@ -423,6 +448,7 @@ TEST(ClockStepTest, GroupClockAbsorbsAHugeForwardStep) {
 TEST(ClockStepTest, BackwardStepCannotRollTheGroupClockBack) {
   Testbed tb({});
   tb.start();
+  FailStopCheck fail_stop{tb};
   std::vector<Bytes> replies;
   drive_client(tb, 40, replies);
   ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 15; }, 60'000'000));
@@ -513,6 +539,7 @@ Micros measure_group_drift(ccs::DriftCompensation strategy, Micros mean_delay, d
     last_drift = rr.group_clock - (1056326400LL * 1000000LL + tb.sim().now());
   });
   tb.start();
+  FailStopCheck fail_stop{tb};
 
   bool got = false;
   tb.client().invoke(make_burst_request(static_cast<std::uint32_t>(rounds)),

@@ -230,6 +230,8 @@ TEST(FragmentationTest, RecoveryWithLargeCheckpointWorks) {
   EXPECT_GT(tb.gcs_of(tb.server_node(0)).stats().fragments_sent +
                 tb.gcs_of(tb.server_node(1)).stats().fragments_sent,
             0u);
+  // Fail-stop tripwire: the crashed replica never read its clock while dead.
+  EXPECT_EQ(tb.clock_of(tb.server_node(2)).reads_after_failure(), 0u);
 }
 
 // ===========================================================================

@@ -40,6 +40,20 @@ bool rng_home(const std::string& path) { return starts_with(path, "src/common/rn
 /// The one audited byte-punning site (fixed-width little-endian codec).
 bool bytes_home(const std::string& path) { return path == "src/common/bytes.hpp"; }
 
+/// Layers whose scheduled work belongs to a node: timers and continuations
+/// must be registered with the node's sim::TaskScope so a fail-stop crash
+/// cancels them.  (src/net schedules on behalf of the destination's scope
+/// internally; src/sim implements the scope; baselines/storage model
+/// node-independent hardware.)
+bool in_node_layer(const std::string& path) {
+  static const char* kLayers[] = {"src/totem/", "src/gcs/", "src/replication/",
+                                  "src/orb/",   "src/cts/", "src/app/"};
+  for (const char* l : kLayers) {
+    if (starts_with(path, l)) return true;
+  }
+  return false;
+}
+
 // --- Line splitting & comment/string stripping --------------------------------
 
 std::vector<std::string> split_lines(const std::string& content) {
@@ -255,6 +269,16 @@ const std::vector<RegexRule>& regex_rules() {
        "pointer-keyed ordered container outside protocol layers: iteration order follows "
        "allocation order; avoid feeding it into any output or decision",
        [](const std::string& p) { return !in_protocol_layer(p); }},
+      {"scoped-timer", Severity::kWarning,
+       // Unlike the other rules this one MUST match member access (`ctx.sim.`,
+       // `svc.simulator().`) — that is how node layers reach the simulator —
+       // so the anchor only rejects identifier suffixes, not `.`/`->`.
+       std::regex(R"((^|[^\w])(sim_?\.|simulator\s*\(\s*\)\s*\.)(at|after|delay|reschedule)\s*\()"),
+       "direct Simulator scheduling from a node-scoped layer bypasses the node's "
+       "sim::TaskScope: the event survives a fail-stop crash and can re-animate dead-node "
+       "code; schedule through scope()/scope_ (or suppress with a justification if the "
+       "work is genuinely node-independent)",
+       [](const std::string& p) { return in_node_layer(p); }},
       {"heap-callback", Severity::kWarning,
        std::regex(R"(std::\s*function\b)"),
        "std::function in the event hot path: captures past its ~16-byte small buffer "
