@@ -41,7 +41,7 @@ class TxManagerApp : public replication::Replica {
         timers_(ctx.time, ccs::GroupTimerService::Config{ThreadId{100}, 1'000}),
         ids_(ctx.time, ThreadId{50}, 1) {}
 
-  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override {
+  void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) override {
     serve(request, std::move(done));
   }
 
@@ -60,7 +60,7 @@ class TxManagerApp : public replication::Replica {
   [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
 
  private:
-  sim::Task serve(Bytes request, std::function<void(Bytes)> done) {
+  sim::Task serve(SharedBytes request, std::function<void(Bytes)> done) {
     BytesReader r(request);
     const auto op = static_cast<TxOp>(r.u8());
     BytesWriter reply;

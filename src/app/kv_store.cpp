@@ -112,7 +112,7 @@ KvStoreApp::KvStoreApp(replication::ReplicaContext& ctx, Options opt)
                             ThreadId{ctx.processing_thread.value + 1000}, opt.timer_poll_us}),
       opt_(opt) {}
 
-void KvStoreApp::handle_request(const Bytes& request, std::function<void(Bytes)> done) {
+void KvStoreApp::handle_request(const SharedBytes& request, std::function<void(Bytes)> done) {
   serve(request, std::move(done));
 }
 
@@ -132,7 +132,7 @@ void KvStoreApp::arm_expiry(const std::string& key, std::uint64_t grant, Micros 
   });
 }
 
-sim::Task KvStoreApp::serve(Bytes request, std::function<void(Bytes)> done) {
+sim::Task KvStoreApp::serve(SharedBytes request, std::function<void(Bytes)> done) {
   BytesReader r(request);
   Bytes reply;
   try {

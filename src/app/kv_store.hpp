@@ -82,7 +82,7 @@ class KvStoreApp : public replication::Replica {
 
   KvStoreApp(replication::ReplicaContext& ctx, Options opt);
 
-  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override;
+  void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) override;
   [[nodiscard]] Bytes checkpoint() const override;
   void restore(const Bytes& state) override;
 
@@ -100,7 +100,7 @@ class KvStoreApp : public replication::Replica {
     std::uint64_t lease_grant = 0;  // distinguishes successive leases
   };
 
-  sim::Task serve(Bytes request, std::function<void(Bytes)> done);
+  sim::Task serve(SharedBytes request, std::function<void(Bytes)> done);
   [[nodiscard]] bool lease_blocks(const Entry& e, std::uint64_t owner, Micros now) const;
   void arm_expiry(const std::string& key, std::uint64_t grant, Micros expiry);
 

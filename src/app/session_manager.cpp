@@ -71,7 +71,7 @@ SessionManagerApp::SessionManagerApp(replication::ReplicaContext& ctx)
       ids_(ctx.time, ThreadId{ctx.processing_thread.value + 3000},
            /*ns=*/ctx.group.value * 1000 + ctx.processing_thread.value) {}
 
-void SessionManagerApp::handle_request(const Bytes& request, std::function<void(Bytes)> done) {
+void SessionManagerApp::handle_request(const SharedBytes& request, std::function<void(Bytes)> done) {
   serve(request, std::move(done));
 }
 
@@ -89,7 +89,7 @@ void SessionManagerApp::arm_reaper(std::uint64_t id, std::uint64_t epoch, Micros
   });
 }
 
-sim::Task SessionManagerApp::serve(Bytes request, std::function<void(Bytes)> done) {
+sim::Task SessionManagerApp::serve(SharedBytes request, std::function<void(Bytes)> done) {
   BytesReader r(request);
   Bytes reply;
   try {

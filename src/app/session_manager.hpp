@@ -63,7 +63,7 @@ class SessionManagerApp : public replication::Replica {
  public:
   explicit SessionManagerApp(replication::ReplicaContext& ctx);
 
-  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override;
+  void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) override;
   [[nodiscard]] Bytes checkpoint() const override;
   void restore(const Bytes& state) override;
 
@@ -78,7 +78,7 @@ class SessionManagerApp : public replication::Replica {
     std::uint64_t epoch = 0;   // distinguishes successive reap timers
   };
 
-  sim::Task serve(Bytes request, std::function<void(Bytes)> done);
+  sim::Task serve(SharedBytes request, std::function<void(Bytes)> done);
   void arm_reaper(std::uint64_t id, std::uint64_t epoch, Micros deadline);
 
   replication::ReplicaContext& ctx_;

@@ -67,6 +67,11 @@ struct TestbedConfig {
   bool with_stable_storage = false;
   std::uint32_t persist_every = 0;
 
+  /// Recovering replicas re-issue GET_STATE after this long without a
+  /// checkpoint.  Tests shrink it to force the retry to cross its own
+  /// in-flight reply.
+  Micros get_state_retry_us = 2'000'000;
+
   /// Application factory; defaults to the paper's time server.
   replication::ReplicaFactory factory;
 };
@@ -116,6 +121,7 @@ class Testbed {
       mcfg.checkpoint_every_requests = cfg_.checkpoint_every;
       mcfg.shards = cfg_.shards;
       mcfg.shard_fn = cfg_.shard_fn;
+      mcfg.get_state_retry_us = cfg_.get_state_retry_us;
       if (cfg_.with_stable_storage) {
         mcfg.stable_store = stores_[s].get();
         mcfg.persist_every_requests = cfg_.persist_every;

@@ -26,11 +26,11 @@ Bytes make_get_counter_request() {
 TimeServerApp::TimeServerApp(replication::ReplicaContext& ctx, Options opt)
     : ctx_(ctx), sys_(ctx.time, ctx.processing_thread), opt_(opt), delay_rng_(opt.delay_seed) {}
 
-void TimeServerApp::handle_request(const Bytes& request, std::function<void(Bytes)> done) {
+void TimeServerApp::handle_request(const SharedBytes& request, std::function<void(Bytes)> done) {
   serve(request, std::move(done));
 }
 
-sim::Task TimeServerApp::serve(Bytes request, std::function<void(Bytes)> done) {
+sim::Task TimeServerApp::serve(SharedBytes request, std::function<void(Bytes)> done) {
   BytesReader r(request);
   const auto op = static_cast<TimeServerOp>(r.u8());
   BytesWriter reply;
@@ -92,11 +92,11 @@ void TimeServerApp::restore(const Bytes& state) {
   for (std::uint32_t i = 0; i < n; ++i) history_.push_back(r.i64());
 }
 
-void LocalTimeServerApp::handle_request(const Bytes& request, std::function<void(Bytes)> done) {
+void LocalTimeServerApp::handle_request(const SharedBytes& request, std::function<void(Bytes)> done) {
   serve(request, std::move(done));
 }
 
-sim::Task LocalTimeServerApp::serve(Bytes request, std::function<void(Bytes)> done) {
+sim::Task LocalTimeServerApp::serve(SharedBytes request, std::function<void(Bytes)> done) {
   BytesReader r(request);
   const auto op = static_cast<TimeServerOp>(r.u8());
   BytesWriter reply;

@@ -51,7 +51,7 @@ class TimeServerApp : public replication::Replica {
 
   TimeServerApp(replication::ReplicaContext& ctx, Options opt);
 
-  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override;
+  void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) override;
   [[nodiscard]] Bytes checkpoint() const override;
   void restore(const Bytes& state) override;
 
@@ -60,7 +60,7 @@ class TimeServerApp : public replication::Replica {
   [[nodiscard]] const std::vector<Micros>& time_history() const { return history_; }
 
  private:
-  sim::Task serve(Bytes request, std::function<void(Bytes)> done);
+  sim::Task serve(SharedBytes request, std::function<void(Bytes)> done);
 
   replication::ReplicaContext& ctx_;
   ccs::TimeSyscalls sys_;
@@ -85,7 +85,7 @@ class LocalTimeServerApp : public replication::Replica {
   LocalTimeServerApp(replication::ReplicaContext& ctx, TimeServerApp::Options opt)
       : ctx_(ctx), opt_(opt), delay_rng_(opt.delay_seed) {}
 
-  void handle_request(const Bytes& request, std::function<void(Bytes)> done) override;
+  void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) override;
   [[nodiscard]] Bytes checkpoint() const override;
   void restore(const Bytes& state) override;
 
@@ -93,7 +93,7 @@ class LocalTimeServerApp : public replication::Replica {
   [[nodiscard]] const std::vector<Micros>& time_history() const { return history_; }
 
  private:
-  sim::Task serve(Bytes request, std::function<void(Bytes)> done);
+  sim::Task serve(SharedBytes request, std::function<void(Bytes)> done);
 
   replication::ReplicaContext& ctx_;
   TimeServerApp::Options opt_;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -112,6 +113,29 @@ inline std::uint32_t load_u32le(const std::uint8_t* p) {
 
 inline void store_u32le(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
 
+/// FNV-1a over a byte range, starting at offset `from`.  The 32-bit flavor
+/// seals packet envelopes (Totem's magic+checksum header); the 64-bit
+/// flavor links checkpoint-chain headers (see src/replication).  `seed`
+/// lets the 64-bit flavor chain over multiple inputs.
+inline std::uint32_t fnv1a32(std::span<const std::uint8_t> data, std::size_t from = 0) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = from; i < data.size(); ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                             std::uint64_t seed = 14695981039346656037ull) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 /// Appends fixed-width little-endian values to a growing byte buffer.
 class BytesWriter {
  public:
@@ -128,6 +152,27 @@ class BytesWriter {
   void bytes(std::span<const std::uint8_t> data) {
     u32(static_cast<std::uint32_t>(data.size()));
     buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Unprefixed raw append — the scatter-gather path.  A frame encoder
+  /// gathers several source buffers (envelope, per-message headers,
+  /// payload slices) into one wire buffer without an intermediate
+  /// concatenation buffer per source.
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Grow the buffer's capacity by `additional` bytes beyond what is
+  /// already written.  Scatter-gather encoders sum their source sizes up
+  /// front so the whole gather lands in a single allocation.
+  void reserve(std::size_t additional) { buf_.reserve(buf_.size() + additional); }
+
+  /// Patch a u32 at an absolute offset inside the already-written buffer —
+  /// for envelope fields whose value is only known once the body is in
+  /// place (a checksum over the bytes that follow it).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    assert(offset + sizeof(v) <= buf_.size());
+    store_u32le(buf_.data() + offset, v);
   }
 
   /// Length-prefixed (u32) UTF-8 string.

@@ -50,7 +50,7 @@ struct CcsPayload {
     return std::move(w).take();
   }
 
-  static CcsPayload decode(const Bytes& b) {
+  static CcsPayload decode(std::span<const std::uint8_t> b) {
     BytesReader r(b);
     CcsPayload p;
     p.thread = ThreadId{r.u32()};

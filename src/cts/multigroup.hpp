@@ -37,7 +37,7 @@ struct StampedPayload {
     w.bytes(body);
     return std::move(w).take();
   }
-  static StampedPayload decode(const Bytes& b) {
+  static StampedPayload decode(std::span<const std::uint8_t> b) {
     BytesReader r(b);
     StampedPayload p;
     p.timestamp = r.i64();

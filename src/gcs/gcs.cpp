@@ -55,18 +55,41 @@ Bytes GcsEndpoint::encode(const Message& m) {
   return std::move(w).take();
 }
 
+namespace {
+MessageHeader decode_header(BytesReader& r) {
+  MessageHeader h;
+  h.type = static_cast<MsgType>(r.u8());
+  h.src_grp = GroupId{r.u32()};
+  h.dst_grp = GroupId{r.u32()};
+  h.conn = ConnectionId{r.u32()};
+  h.tag = ThreadId{r.u32()};
+  h.seq = r.u64();
+  h.sender_replica = ReplicaId{r.u32()};
+  h.sender_node = NodeId{r.u32()};
+  return h;
+}
+}  // namespace
+
 Message GcsEndpoint::decode(std::span<const std::uint8_t> b) {
   BytesReader r(b);
   Message m;
-  m.hdr.type = static_cast<MsgType>(r.u8());
-  m.hdr.src_grp = GroupId{r.u32()};
-  m.hdr.dst_grp = GroupId{r.u32()};
-  m.hdr.conn = ConnectionId{r.u32()};
-  m.hdr.tag = ThreadId{r.u32()};
-  m.hdr.seq = r.u64();
-  m.hdr.sender_replica = ReplicaId{r.u32()};
-  m.hdr.sender_node = NodeId{r.u32()};
+  m.hdr = decode_header(r);
   m.payload = r.bytes();
+  if (!r.done()) throw CodecError("trailing garbage after GCS message");
+  return m;
+}
+
+Message GcsEndpoint::decode_view(const SharedBytes& packet) {
+  BytesReader r(packet.span());
+  Message m;
+  m.hdr = decode_header(r);
+  // Zero copy: the payload aliases the packet (which itself aliases the
+  // batched Totem frame it arrived in).
+  const std::uint32_t len = r.u32();
+  const std::size_t off = r.pos();
+  r.skip(len);
+  if (!r.done()) throw CodecError("trailing garbage after GCS message");
+  m.payload = packet.slice(off, len);
   return m;
 }
 
@@ -220,7 +243,7 @@ bool GcsEndpoint::cancel(std::uint64_t handle) {
 void GcsEndpoint::on_totem_deliver(NodeId /*sender*/, const SharedBytes& data) {
   Message m;
   try {
-    m = decode(data.span());
+    m = decode_view(data);
   } catch (const CodecError& e) {
     CTS_WARN() << to_string(totem_.id()) << " dropped malformed GCS message: " << e.what();
     return;
@@ -236,13 +259,18 @@ void GcsEndpoint::on_fragment(const Message& frag) {
   ++stats_.fragments_received;
   std::uint8_t original_type = 0;
   std::uint32_t idx = 0, count = 0;
-  Bytes chunk;
+  std::size_t chunk_off = 0, chunk_len = 0;
   try {
     BytesReader r(frag.payload);
     original_type = r.u8();
     idx = r.u32();
     count = r.u32();
-    chunk = r.bytes();
+    // Locate the chunk instead of copying it out; it is appended straight
+    // from the shared fragment payload into the reassembly buffer below.
+    chunk_len = r.u32();
+    chunk_off = r.pos();
+    r.skip(chunk_len);
+    if (!r.done()) throw CodecError("trailing garbage after fragment");
   } catch (const CodecError& e) {
     CTS_WARN() << to_string(totem_.id()) << " dropped malformed fragment: " << e.what();
     return;
@@ -262,7 +290,8 @@ void GcsEndpoint::on_fragment(const Message& frag) {
     reassembly_.erase(key);
     return;
   }
-  re.data.insert(re.data.end(), chunk.begin(), chunk.end());
+  re.data.insert(re.data.end(), frag.payload.data() + chunk_off,
+                 frag.payload.data() + chunk_off + chunk_len);
   ++re.next;
   if (re.next < re.count) return;
 

@@ -70,7 +70,11 @@ struct MessageHeader {
 
 struct Message {
   MessageHeader hdr;
-  Bytes payload;
+  /// Delivered messages hold a zero-copy slice of the (batched) packet they
+  /// arrived in; locally originated ones wrap their own buffer (Bytes
+  /// converts implicitly).  Mutating consumers stage into a Bytes and
+  /// re-assign — the view itself is immutable.
+  SharedBytes payload;
 };
 
 /// A member of a group: a replica hosted on a node.
@@ -173,9 +177,13 @@ class GcsEndpoint {
 
   /// Serialize / parse the header+payload wire format (exposed for tests).
   /// decode() takes a span so both Bytes and zero-copy SharedBytes views
-  /// parse without materializing a copy first.
+  /// parse without materializing a copy first; its payload is a fresh
+  /// buffer.  decode_view() parses out of a shared packet and returns a
+  /// payload that aliases it — the delivery path, where one batched Totem
+  /// frame fans out to N messages with zero per-message copies.
   static Bytes encode(const Message& m);
   static Message decode(std::span<const std::uint8_t> b);
+  static Message decode_view(const SharedBytes& packet);
 
  private:
   struct DedupKey {

@@ -78,7 +78,10 @@ void RmiClient::on_message(const gcs::Message& m) {
   auto fn = std::move(it->second.complete);
   outstanding_.erase(it);
   ++replies_;
-  fn(&m.payload);
+  // The client API hands out plain Bytes (its callers own their reply);
+  // materialize the shared view once, at this boundary.
+  const Bytes reply = m.payload.to_bytes();
+  fn(&reply);
 }
 
 }  // namespace cts::orb

@@ -134,7 +134,9 @@ class DecisionRelay {
 
   void on_delivered(const gcs::Message& m) {
     Stream& st = streams_[m.hdr.tag];
-    st.buffer.push_back(m.payload);
+    // Decision values are a few bytes; owning a copy beats pinning the
+    // whole delivered batch frame in the buffer.
+    st.buffer.push_back(m.payload.to_bytes());
     try_complete(st);
   }
 

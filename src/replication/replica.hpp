@@ -45,8 +45,10 @@ class Replica {
   /// Handle one request; call `done(reply)` when finished.  Handling may be
   /// asynchronous (e.g. a coroutine awaiting clock rounds); the manager
   /// serializes requests, so the next request is only delivered after
-  /// `done` runs.
-  virtual void handle_request(const Bytes& request, std::function<void(Bytes)> done) = 0;
+  /// `done` runs.  The request is a zero-copy view of the delivered
+  /// message; an implementation that outlives the call (a coroutine frame)
+  /// keeps a SharedBytes copy — a refcount bump, not a buffer copy.
+  virtual void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) = 0;
 
   /// Serialize the full application state for state transfer.
   [[nodiscard]] virtual Bytes checkpoint() const = 0;

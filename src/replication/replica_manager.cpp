@@ -7,10 +7,6 @@
 namespace cts::replication {
 
 namespace {
-/// How long a recovering replica waits for the checkpoint before re-issuing
-/// GET_STATE (covers "the replica serving the transfer crashed").
-constexpr Micros kGetStateRetryUs = 2'000'000;
-
 /// Tag values for the kState streams (dedup is per (conn, type, tag)).
 constexpr ThreadId kRecoveryStateTag{0};
 constexpr ThreadId kPeriodicStateTag{1};
@@ -18,6 +14,16 @@ constexpr ThreadId kColdStateTag{2};
 
 /// Stable-storage key for the local checkpoint.
 const char* const kCheckpointKey = "replica-checkpoint";
+
+/// The covered-request count a snapshot declares (its trailing u64),
+/// without applying it.  Throws CodecError on a malformed snapshot.
+std::uint64_t peek_covered(std::span<const std::uint8_t> snapshot) {
+  BytesReader r(snapshot);
+  const auto shard_count = r.u32();
+  for (std::uint32_t i = 0; i < shard_count; ++i) r.skip(r.u32());  // app states
+  r.skip(r.u32());                                                  // cts state
+  return r.u64();
+}
 }  // namespace
 
 ReplicaManager::ReplicaManager(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
@@ -103,6 +109,16 @@ void ReplicaManager::start_recovering(UniqueFn<void()> recovered) {
 }
 
 void ReplicaManager::send_get_state() {
+  // A (re-)issued GET_STATE supersedes any previous recovery epoch.  The
+  // checkpoint the new epoch produces is taken at a quiescent point AFTER
+  // everything ordered before the new GET_STATE — including the requests
+  // queued since the OLD GET_STATE was ordered.  Replaying those from the
+  // queue on top of the new snapshot would apply them twice, so drop them
+  // and re-arm the queue discipline on the new epoch.  (On the first issue
+  // the queues are empty and this is a no-op.)
+  saw_own_get_state_ = false;
+  for (auto& sh : shards_) sh.queue.clear();
+
   gcs::Message m;
   m.hdr.type = gcs::MsgType::kGetState;
   m.hdr.src_grp = cfg_.group;
@@ -120,7 +136,7 @@ void ReplicaManager::send_get_state() {
   // initialization): drop the stale timer first — it would only bail on its
   // epoch check anyway, and cancellation consumes no sequence numbers.
   if (get_state_armed_) scope_.cancel(get_state_timer_);
-  get_state_timer_ = scope_.after(kGetStateRetryUs, [this, epoch = recovery_epoch_] {
+  get_state_timer_ = scope_.after(cfg_.get_state_retry_us, [this, epoch = recovery_epoch_] {
     get_state_armed_ = false;
     if (recovering_ && recovery_epoch_ == epoch) {
       CTS_WARN() << "replica " << to_string(cfg_.replica)
@@ -135,10 +151,19 @@ void ReplicaManager::start_cold() {
   recovering_ = false;
   if (cfg_.stable_store != nullptr) {
     if (auto state = cfg_.stable_store->read(kCheckpointKey)) {
-      apply_full_checkpoint(*state);
-      delivery_count_ = processed_count_;
-      CTS_INFO() << "replica " << to_string(cfg_.replica) << " cold-started from disk ("
-                 << processed_count_ << " requests covered)";
+      // Disk contents survive crashes but not corruption: the persisted
+      // payload carries its header chain, so a damaged checkpoint is
+      // detected and ignored instead of booting the replica into garbage.
+      if (auto d = verify_state_payload(*state)) {
+        apply_full_checkpoint(d->snapshot);
+        chain_ = std::move(d->headers);
+        delivery_count_ = processed_count_;
+        CTS_INFO() << "replica " << to_string(cfg_.replica) << " cold-started from disk ("
+                   << processed_count_ << " requests covered)";
+      } else {
+        CTS_WARN() << "replica " << to_string(cfg_.replica)
+                   << " ignoring corrupt on-disk checkpoint";
+      }
     }
   }
   gcs_.join_group(cfg_.group, cfg_.replica);
@@ -153,7 +178,7 @@ void ReplicaManager::start_cold() {
   m.hdr.tag = kColdStateTag;
   m.hdr.seq = processed_count_ + 1;  // dedup keeps the freshest announcement
   m.hdr.sender_replica = cfg_.replica;
-  m.payload = full_checkpoint();
+  m.payload = chained_checkpoint();
   gcs_.send(std::move(m));
 }
 
@@ -335,7 +360,34 @@ Bytes ReplicaManager::full_checkpoint() const {
   return std::move(w).take();
 }
 
-void ReplicaManager::apply_full_checkpoint(const Bytes& state) {
+Bytes ReplicaManager::chained_checkpoint() {
+  const Bytes snapshot = full_checkpoint();
+  extend_chain(chain_, processed_count_, snapshot);
+  return encode_chained_checkpoint(snapshot, chain_);
+}
+
+std::optional<DecodedCheckpoint> ReplicaManager::verify_state_payload(
+    std::span<const std::uint8_t> payload) {
+  auto d = decode_chained_checkpoint(payload);
+  bool ok = d.has_value() && verify_chained_checkpoint(*d);
+  if (ok) {
+    // The newest link must describe THIS snapshot's covered count, or the
+    // chain was grafted onto a different snapshot.
+    try {
+      ok = d->headers.back().upto == peek_covered(d->snapshot);
+    } catch (const CodecError&) {
+      ok = false;
+    }
+  }
+  if (!ok) {
+    ++stats_.checkpoints_rejected;
+    if (rec_) ++rec_->counter("repl.checkpoints_rejected");
+    return std::nullopt;
+  }
+  return d;
+}
+
+void ReplicaManager::apply_full_checkpoint(std::span<const std::uint8_t> state) {
   BytesReader r(state);
   const auto shard_count = r.u32();
   assert(shard_count == shards_.size() && "checkpoint shard layout mismatch");
@@ -418,7 +470,7 @@ void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
     m.hdr.tag = kRecoveryStateTag;
     m.hdr.seq = get_state.hdr.seq;  // pairs the checkpoint with its request
     m.hdr.sender_replica = cfg_.replica;
-    m.payload = full_checkpoint();
+    m.payload = chained_checkpoint();
     const auto ckpt_bytes = m.payload.size();
     gcs_.send(std::move(m));
     ++stats_.checkpoints_taken;
@@ -446,7 +498,7 @@ void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
 
 void ReplicaManager::persist_locally() {
   if (cfg_.stable_store == nullptr) return;
-  cfg_.stable_store->write(kCheckpointKey, full_checkpoint());
+  cfg_.stable_store->write(kCheckpointKey, chained_checkpoint());
   ++stats_.checkpoints_persisted;
 }
 
@@ -471,7 +523,7 @@ void ReplicaManager::take_periodic_checkpoint() {
   m.hdr.tag = kPeriodicStateTag;
   m.hdr.seq = ++checkpoint_seq_;
   m.hdr.sender_replica = cfg_.replica;
-  m.payload = full_checkpoint();
+  m.payload = chained_checkpoint();
   const auto ckpt_bytes = m.payload.size();
   gcs_.send(std::move(m));
   ++stats_.checkpoints_taken;
@@ -486,6 +538,10 @@ void ReplicaManager::take_periodic_checkpoint() {
 
 void ReplicaManager::on_state(const gcs::Message& m) {
   if (recovering_) {
+    // Dedupe against the recovery epoch: a reply paired with a GET_STATE we
+    // have since superseded (its reply crossed our retry in flight) must be
+    // dropped, not applied — the queued requests only line up with the
+    // checkpoint of the CURRENT epoch.
     if (m.hdr.tag != kRecoveryStateTag || m.hdr.seq != recovery_epoch_) return;
     if (!clock_initialized_) {
       // The special CCS round is ordered before the checkpoint, so this
@@ -494,7 +550,16 @@ void ReplicaManager::on_state(const gcs::Message& m) {
       send_get_state();
       return;
     }
-    apply_full_checkpoint(m.payload);
+    auto d = verify_state_payload(m.payload);
+    if (!d) {
+      // Chain verification failed: do not adopt the state; ask again.
+      CTS_WARN() << "replica " << to_string(cfg_.replica)
+                 << " rejected checkpoint with broken hash chain; re-requesting";
+      send_get_state();
+      return;
+    }
+    apply_full_checkpoint(d->snapshot);
+    chain_ = std::move(d->headers);
     persist_locally();
     recovering_ = false;
     gcs_.join_group(cfg_.group, cfg_.replica);  // now a full member
@@ -515,25 +580,32 @@ void ReplicaManager::on_state(const gcs::Message& m) {
     for (std::uint32_t s = 0; s < shards_.size(); ++s) pump(s);
     return;
   }
+  auto d = verify_state_payload(m.payload);
+  if (!d) {
+    CTS_WARN() << "replica " << to_string(cfg_.replica)
+               << " ignoring checkpoint with broken hash chain";
+    return;
+  }
   if (m.hdr.tag == kColdStateTag) {
     // A cold-start announcement: adopt it only if it is strictly fresher
     // than our own restored state (equal counts imply equal state).
-    BytesReader r(m.payload);
-    const auto shard_count = r.u32();
-    for (std::uint32_t i = 0; i < shard_count; ++i) (void)r.bytes();
-    (void)r.bytes();  // cts state
-    const std::uint64_t covered = r.u64();
-    if (covered > processed_count_) {
-      apply_full_checkpoint(m.payload);
+    if (d->headers.back().upto > processed_count_) {
+      apply_full_checkpoint(d->snapshot);
+      chain_ = std::move(d->headers);
       delivery_count_ = processed_count_;
       persist_locally();
     }
     return;
   }
+  // A state transfer served for an epoch we have already moved past (e.g.
+  // the late reply to a superseded GET_STATE, delivered after this replica
+  // finished recovering) must not roll a fresher replica backward.
+  if (d->headers.back().upto < processed_count_) return;
   // Existing replicas: the primary ignores its own checkpoints; passive
   // backups apply both periodic and recovery checkpoints to stay fresh.
   if (cfg_.style == ReplicationStyle::kPassive && !primary_) {
-    apply_full_checkpoint(m.payload);
+    apply_full_checkpoint(d->snapshot);
+    chain_ = std::move(d->headers);
     persist_locally();
   }
 }

@@ -35,6 +35,7 @@
 #include "common/unique_fn.hpp"
 #include "cts/consistent_time_service.hpp"
 #include "gcs/gcs.hpp"
+#include "replication/checkpoint_chain.hpp"
 #include "replication/replica.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task_scope.hpp"
@@ -84,6 +85,11 @@ struct ManagerConfig {
   /// a checkpoint is taken/applied for other reasons).  Persisting waits
   /// for a moment when every shard is idle.
   std::uint32_t persist_every_requests = 0;
+
+  /// How long a recovering replica waits for the checkpoint before
+  /// re-issuing GET_STATE (covers "the replica serving the transfer
+  /// crashed").  Tests shrink this to exercise the retry/reply races.
+  Micros get_state_retry_us = 2'000'000;
 };
 
 struct ManagerStats {
@@ -96,6 +102,8 @@ struct ManagerStats {
   std::uint64_t checkpoints_persisted = 0;
   std::uint64_t promotions = 0;
   std::uint64_t state_transfers_served = 0;
+  /// Checkpoints whose hash chain failed verification (dropped, re-requested).
+  std::uint64_t checkpoints_rejected = 0;
 };
 
 class ReplicaManager {
@@ -137,6 +145,8 @@ class ReplicaManager {
   [[nodiscard]] Replica& app(std::uint32_t shard = 0) { return *shards_[shard].app; }
   [[nodiscard]] std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
   [[nodiscard]] const ManagerConfig& config() const { return cfg_; }
+  /// The hash-chained checkpoint history (newest last; see checkpoint_chain.hpp).
+  [[nodiscard]] const std::vector<CheckpointHeader>& checkpoint_chain() const { return chain_; }
 
   /// Attach (or detach, with nullptr) an observability recorder.  Also
   /// wires the embedded ConsistentTimeService.
@@ -166,7 +176,14 @@ class ReplicaManager {
   void send_reply(const gcs::Message& request, const Bytes& reply);
   [[nodiscard]] bool should_process() const;
   [[nodiscard]] Bytes full_checkpoint() const;
-  void apply_full_checkpoint(const Bytes& state);
+  /// full_checkpoint() wrapped with the (freshly extended) header chain —
+  /// the payload every kState message and local persist now carries.
+  [[nodiscard]] Bytes chained_checkpoint();
+  /// Decode + chain-verify an incoming kState payload.  Returns nullopt
+  /// (and counts a rejection) unless every link recomputes and the final
+  /// digest covers the shipped snapshot.
+  std::optional<DecodedCheckpoint> verify_state_payload(std::span<const std::uint8_t> payload);
+  void apply_full_checkpoint(std::span<const std::uint8_t> state);
 
   sim::Simulator& sim_;
   gcs::GcsEndpoint& gcs_;
@@ -221,6 +238,10 @@ class ReplicaManager {
   static constexpr std::size_t kReplyCacheSize = 32;
   std::uint32_t since_checkpoint_ = 0;
   std::uint64_t checkpoint_seq_ = 0;   // seq for periodic kState messages
+  // Hash-chained checkpoint history (newest last).  Extended whenever a
+  // checkpoint is taken; adopted wholesale when one is applied, so the
+  // serving replica's history continues at the recovered replica.
+  std::vector<CheckpointHeader> chain_;
   std::uint64_t persist_low_water_ = 0;  // processed_count_ at last local persist
 
   ManagerStats stats_;

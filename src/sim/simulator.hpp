@@ -25,6 +25,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -136,8 +137,13 @@ class Simulator {
     if (now_ < t) now_ = t;
   }
 
-  /// Run for `d` microseconds of simulated time.
-  void run_for(Micros d) { run_until(now_ + d); }
+  /// Run for `d` microseconds of simulated time.  Saturates at the Micros
+  /// horizon instead of wrapping: `run_for(max)` late in a long run means
+  /// "run everything ever scheduled", not signed overflow into the past.
+  void run_for(Micros d) {
+    constexpr Micros kHorizon = std::numeric_limits<Micros>::max();
+    run_until(d >= kHorizon - now_ ? kHorizon : now_ + d);
+  }
 
   /// Number of scheduled-but-unfired events.  Cancelled events are removed
   /// immediately, so this is the exact live queue depth.

@@ -13,13 +13,22 @@ constexpr std::uint32_t kPacketMagic = 0x544f544d;  // "TOTM"
 constexpr std::size_t kEnvelopeSize = 8;            // [magic u32][checksum u32]
 constexpr std::size_t kEnvelopeChecksumOffset = 4;
 
-std::uint32_t fnv1a(std::span<const std::uint8_t> data, std::size_t from) {
-  std::uint32_t h = 2166136261u;
-  for (std::size_t i = from; i < data.size(); ++i) {
-    h ^= data[i];
-    h *= 16777619u;
-  }
-  return h;
+// Scatter-gather sealing: the envelope and the body share one buffer.  An
+// encoder reserves the final packet size, writes the [magic][checksum=0]
+// envelope, appends its body fields directly behind it, and finish_sealed
+// patches the checksum in place — no separately-allocated body buffer and
+// no envelope-prepend copy.
+BytesWriter begin_sealed(std::size_t body_size) {
+  BytesWriter w;
+  w.reserve(kEnvelopeSize + body_size);
+  w.u32(kPacketMagic);
+  w.u32(0);  // checksum placeholder, patched once the body is in place
+  return w;
+}
+
+Bytes finish_sealed(BytesWriter&& w) {
+  w.patch_u32(kEnvelopeChecksumOffset, fnv1a32(w.data(), kEnvelopeSize));
+  return std::move(w).take();
 }
 }
 
@@ -38,23 +47,13 @@ TotemNode::~TotemNode() { net_.bind_scope(id_, nullptr); }
 
 // --- Wire formats ----------------------------------------------------------
 
-Bytes TotemNode::seal(Bytes body) {
-  // [magic u32][checksum u32][body...] — checksum covers the body only.
-  BytesWriter w;
-  w.u32(kPacketMagic);
-  w.u32(0);  // checksum placeholder, patched once the body is in place
-  Bytes packet = std::move(w).take();
-  packet.insert(packet.end(), body.begin(), body.end());
-  store_u32le(packet.data() + kEnvelopeChecksumOffset, fnv1a(packet, kEnvelopeSize));
-  return packet;
-}
-
 bool TotemNode::unseal(const SharedBytes& packet, BytesReader& out_reader) {
   // A datagram shorter than the envelope cannot be a Totem packet; reject
   // it before touching any field so truncated junk is dropped, not parsed.
   if (packet.size() < kEnvelopeSize) return false;
   if (load_u32le(packet.data()) != kPacketMagic) return false;
-  if (load_u32le(packet.data() + kEnvelopeChecksumOffset) != fnv1a(packet.span(), kEnvelopeSize)) {
+  if (load_u32le(packet.data() + kEnvelopeChecksumOffset) !=
+      fnv1a32(packet.span(), kEnvelopeSize)) {
     return false;
   }
   out_reader = BytesReader(
@@ -63,7 +62,7 @@ bool TotemNode::unseal(const SharedBytes& packet, BytesReader& out_reader) {
 }
 
 Bytes TotemNode::encode_token(const Token& t) {
-  BytesWriter w;
+  BytesWriter w = begin_sealed(45 + t.rtr.size() * 8);
   w.u8(static_cast<std::uint8_t>(MsgType::kToken));
   w.u64(t.ring_id);
   w.u64(t.token_seq);
@@ -73,11 +72,11 @@ Bytes TotemNode::encode_token(const Token& t) {
   w.u32(t.fcc);
   w.u32(static_cast<std::uint32_t>(t.rtr.size()));
   for (auto s : t.rtr) w.u64(s);
-  return seal(std::move(w).take());
+  return finish_sealed(std::move(w));
 }
 
 Bytes TotemNode::encode_mcast(const Mcast& m) {
-  BytesWriter w;
+  BytesWriter w = begin_sealed(27 + m.payload.size());
   w.u8(static_cast<std::uint8_t>(MsgType::kMcast));
   w.u64(m.ring_id);
   w.u64(m.seq);
@@ -85,11 +84,30 @@ Bytes TotemNode::encode_mcast(const Mcast& m) {
   w.boolean(m.recovery);
   w.u8(static_cast<std::uint8_t>(m.delivery));
   w.bytes(m.payload.span());
-  return seal(std::move(w).take());
+  return finish_sealed(std::move(w));
+}
+
+Bytes TotemNode::encode_batch(std::span<const Mcast> msgs, RingId ring_id, bool recovery) {
+  // One envelope seals the whole visit's worth of messages; payload bytes
+  // are gathered straight from each queued buffer into the frame.
+  std::size_t body = 14;  // type u8 + ring u64 + recovery u8 + count u32
+  for (const auto& m : msgs) body += 17 + m.payload.size();
+  BytesWriter w = begin_sealed(body);
+  w.u8(static_cast<std::uint8_t>(MsgType::kBatch));
+  w.u64(ring_id);
+  w.boolean(recovery);
+  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const auto& m : msgs) {
+    w.u64(m.seq);
+    w.u32(m.sender.value);
+    w.u8(static_cast<std::uint8_t>(m.delivery));
+    w.bytes(m.payload.span());
+  }
+  return finish_sealed(std::move(w));
 }
 
 Bytes TotemNode::encode_join(const Join& j) {
-  BytesWriter w;
+  BytesWriter w = begin_sealed(29 + j.perceived.size() * 4);
   w.u8(static_cast<std::uint8_t>(MsgType::kJoin));
   w.u32(j.sender.value);
   w.u32(static_cast<std::uint32_t>(j.perceived.size()));
@@ -97,11 +115,11 @@ Bytes TotemNode::encode_join(const Join& j) {
   w.u64(j.old_ring_id);
   w.u64(j.my_aru);
   w.u64(j.high_seq);
-  return seal(std::move(w).take());
+  return finish_sealed(std::move(w));
 }
 
 Bytes TotemNode::encode_commit(const Commit& c) {
-  BytesWriter w;
+  BytesWriter w = begin_sealed(13 + c.members.size() * 28);
   w.u8(static_cast<std::uint8_t>(MsgType::kCommit));
   w.u64(c.new_ring_id);
   w.u32(static_cast<std::uint32_t>(c.members.size()));
@@ -111,7 +129,7 @@ Bytes TotemNode::encode_commit(const Commit& c) {
     w.u64(m.aru);
     w.u64(m.high_seq);
   }
-  return seal(std::move(w).take());
+  return finish_sealed(std::move(w));
 }
 
 // --- Lifecycle ---------------------------------------------------------------
@@ -197,16 +215,30 @@ void TotemNode::reset_token_loss_timer() {
 
 void TotemNode::on_packet(NodeId src, const SharedBytes& data) {
   if (state_ == State::kDown) return;
-  static const Bytes kEmpty;
-  BytesReader r(kEmpty);
+  BytesReader r(std::span<const std::uint8_t>{});
   if (!unseal(data, r)) {
     CTS_DEBUG() << to_string(id_) << " dropped non-Totem/corrupt packet from "
                 << to_string(src);
     return;
   }
   try {
-    switch (static_cast<MsgType>(r.u8())) {
-      case MsgType::kToken: {
+    // Length validation is exact: after the last field of a message the
+    // reader must sit on the end of the body.  A well-formed prefix with
+    // trailing garbage is rejected BEFORE its handler runs, the same as a
+    // truncated packet — otherwise padding survives the checksum (which
+    // covers the whole body) and two nodes could disagree about what a
+    // packet "is".
+    const auto expect_end = [&r](const char* what) {
+      if (!r.done()) throw CodecError(std::string("trailing garbage after ") + what);
+    };
+    const auto delivery_class = [](std::uint8_t v) {
+      if (v > static_cast<std::uint8_t>(DeliveryClass::kSafe)) {
+        throw CodecError("bad delivery class");
+      }
+      return static_cast<DeliveryClass>(v);
+    };
+    switch (r.u8()) {
+      case static_cast<std::uint8_t>(MsgType::kToken): {
         Token t;
         t.ring_id = r.u64();
         t.token_seq = r.u64();
@@ -219,16 +251,17 @@ void TotemNode::on_packet(NodeId src, const SharedBytes& data) {
         // not trigger a huge allocation before the first read throws.
         t.rtr.reserve(std::min<std::size_t>(n, r.remaining() / sizeof(std::uint64_t)));
         for (std::uint32_t i = 0; i < n; ++i) t.rtr.push_back(r.u64());
+        expect_end("token");
         handle_token(std::move(t));
         break;
       }
-      case MsgType::kMcast: {
+      case static_cast<std::uint8_t>(MsgType::kMcast): {
         Mcast m;
         m.ring_id = r.u64();
         m.seq = r.u64();
         m.sender = NodeId{r.u32()};
         m.recovery = r.boolean();
-        m.delivery = static_cast<DeliveryClass>(r.u8());
+        m.delivery = delivery_class(r.u8());
         // Zero copy: the payload is an aliasing slice of the sealed packet
         // (reader offsets are relative to the body, hence + kEnvelopeSize).
         // skip() enforces the same truncation check r.bytes() would.
@@ -236,10 +269,35 @@ void TotemNode::on_packet(NodeId src, const SharedBytes& data) {
         const std::size_t off = r.pos();
         r.skip(len);
         m.payload = data.slice(kEnvelopeSize + off, len);
+        expect_end("mcast");
         handle_mcast(std::move(m));
         break;
       }
-      case MsgType::kJoin: {
+      case static_cast<std::uint8_t>(MsgType::kBatch): {
+        const RingId ring_id = r.u64();
+        const bool recovery = r.boolean();
+        const auto n = r.u32();
+        std::vector<Mcast> msgs;
+        // 17 = fixed per-entry size (seq u64 + sender u32 + class u8 + len u32).
+        msgs.reserve(std::min<std::size_t>(n, r.remaining() / 17));
+        for (std::uint32_t i = 0; i < n; ++i) {
+          Mcast m;
+          m.ring_id = ring_id;
+          m.recovery = recovery;
+          m.seq = r.u64();
+          m.sender = NodeId{r.u32()};
+          m.delivery = delivery_class(r.u8());
+          const std::uint32_t len = r.u32();
+          const std::size_t off = r.pos();
+          r.skip(len);
+          m.payload = data.slice(kEnvelopeSize + off, len);
+          msgs.push_back(std::move(m));
+        }
+        expect_end("batch");
+        handle_batch(ring_id, std::move(msgs));
+        break;
+      }
+      case static_cast<std::uint8_t>(MsgType::kJoin): {
         Join j;
         j.sender = NodeId{r.u32()};
         const auto n = r.u32();
@@ -248,10 +306,11 @@ void TotemNode::on_packet(NodeId src, const SharedBytes& data) {
         j.old_ring_id = r.u64();
         j.my_aru = r.u64();
         j.high_seq = r.u64();
+        expect_end("join");
         handle_join(j);
         break;
       }
-      case MsgType::kCommit: {
+      case static_cast<std::uint8_t>(MsgType::kCommit): {
         Commit c;
         c.new_ring_id = r.u64();
         const auto n = r.u32();
@@ -265,9 +324,12 @@ void TotemNode::on_packet(NodeId src, const SharedBytes& data) {
           m.high_seq = r.u64();
           c.members.push_back(m);
         }
+        expect_end("commit");
         handle_commit(c);
         break;
       }
+      default:
+        throw CodecError("unknown message type");
     }
   } catch (const CodecError& e) {
     CTS_WARN() << to_string(id_) << " dropped malformed packet from " << to_string(src) << ": "
@@ -339,8 +401,17 @@ void TotemNode::handle_token(Token tok) {
     const int budget =
         std::min({cfg_.max_messages_per_token,
                   cfg_.window_per_rotation - static_cast<int>(tok.fcc), fair_share});
-    int sent = 0;
-    while (!send_queue_.empty() && sent < budget) {
+    // Drain up to `budget` queued messages into one batch frame.  The queue
+    // entries are popped BEFORE anything is encoded or delivered: once a
+    // message is in the batch it is committed to the wire, so a cancel()
+    // issued from a reentrant self-delivery callback correctly reports
+    // false for batch-mates (already sent) while messages still queued
+    // behind the batch stay cancellable.  Flow control counts MESSAGES,
+    // not frames — fcc and the per-visit window are unchanged by batching.
+    std::vector<Mcast> batch;
+    batch.reserve(std::min<std::size_t>(send_queue_.size(),
+                                        static_cast<std::size_t>(std::max(0, budget))));
+    while (!send_queue_.empty() && static_cast<int>(batch.size()) < budget) {
       Mcast m;
       m.ring_id = view_.ring_id;
       m.seq = ++tok.seq;
@@ -348,13 +419,23 @@ void TotemNode::handle_token(Token tok) {
       m.delivery = send_queue_.front().delivery;
       m.payload = std::move(send_queue_.front().payload);
       send_queue_.pop_front();
-      net_.broadcast(id_, encode_mcast(m));
-      ++stats_.msgs_multicast;
-      store_and_deliver(std::move(m));  // self-delivery
-      ++sent;
+      batch.push_back(std::move(m));
     }
-    tok.fcc += static_cast<std::uint32_t>(sent);
-    last_sent_on_token_ = static_cast<std::uint32_t>(sent);
+    const auto sent = static_cast<std::uint32_t>(batch.size());
+    if (sent > 0) {
+      net_.broadcast(id_, encode_batch(batch, view_.ring_id, /*recovery=*/false));
+      stats_.msgs_multicast += sent;
+      ++stats_.batch_frames_sent;
+      if (c_batch_frames_) ++*c_batch_frames_;
+      for (auto& m : batch) {
+        // A self-delivery callback may crash this node (fail-stop tests);
+        // stop touching protocol state the moment that happens.
+        if (state_ == State::kDown) break;
+        store_and_deliver(std::move(m));  // self-delivery
+      }
+    }
+    tok.fcc += sent;
+    last_sent_on_token_ = sent;
     if (!send_queue_.empty()) {
       // The rotation window (or fair share) closed before the queue
       // drained — backpressure a perf PR would want to see.
@@ -465,6 +546,31 @@ void TotemNode::handle_mcast(Mcast m) {
     // Old-ring traffic (including recovery rebroadcasts) for our own old
     // ring still counts: it fills gaps so the survivor set converges.
     if (m.ring_id == view_.ring_id) store_and_deliver(std::move(m));
+  }
+}
+
+void TotemNode::handle_batch(RingId ring_id, std::vector<Mcast> msgs) {
+  // Same state machine as handle_mcast, but the ring checks run once per
+  // frame: a foreign batch triggers ONE gather, not one per entry.
+  if (state_ == State::kOperational) {
+    if (ring_id == view_.ring_id) {
+      for (auto& m : msgs) {
+        if (state_ == State::kDown) return;  // delivery callback crashed us
+        store_and_deliver(std::move(m));
+      }
+      // Seeing traffic means the token moved on: stop retransmitting it.
+      if (token_retrans_armed_) scope_.cancel(token_retrans_timer_), token_retrans_armed_ = false;
+      return;
+    }
+    if (!known_rings_.contains(ring_id)) enter_gather("foreign message");
+    return;
+  }
+  if (state_ == State::kRecover || state_ == State::kGather) {
+    if (ring_id != view_.ring_id) return;
+    for (auto& m : msgs) {
+      if (state_ == State::kDown) return;
+      store_and_deliver(std::move(m));
+    }
   }
 }
 
@@ -589,6 +695,20 @@ void TotemNode::on_gather_deadline() {
       c.members.push_back(CommitMember{n, j.old_ring_id, j.my_aru, j.high_seq});
     }
     net_.broadcast(id_, encode_commit(c));
+    // The commit is the one unacknowledged step of the membership
+    // handshake: a member that loses this datagram stays deaf in Gather
+    // until its commit timeout while the new ring delivers traffic without
+    // it — and a message delivered only on that ring is unrecoverable for
+    // the orphan once the NEXT ring's recovery runs (recovery converges
+    // each member's own old ring only).  Rebroadcast the commit; receivers
+    // treat duplicates as stale, and a member that catches up late repairs
+    // any missed messages through the token's rtr machinery.
+    for (int k = 1; k <= 2; ++k) {
+      scope_.after(cfg_.commit_timeout_us * k / 3, [this, e = epoch_, c] {
+        if (e != epoch_ || state_ == State::kDown || max_ring_seen_ > c.new_ring_id) return;
+        net_.broadcast(id_, encode_commit(c));
+      });
+    }
     handle_commit(c);  // local delivery
   } else {
     // Wait for the representative's commit; regather if it never comes
@@ -635,13 +755,25 @@ void TotemNode::begin_recovery(const Commit& c) {
     }
     recovery_target_ = std::max(recovery_target_,
                                 store_.empty() ? my_aru_ : store_.rbegin()->first);
+    // Rebroadcasts ride batch frames too, chunked at the per-visit cap so
+    // one lost datagram costs at most a visit's worth of rebroadcasts (the
+    // bounded recovery retries re-send the rest).
+    const auto chunk = static_cast<std::size_t>(std::max(1, cfg_.max_messages_per_token));
+    std::vector<Mcast> frame;
+    const auto flush = [&] {
+      if (frame.empty()) return;
+      net_.broadcast(id_, encode_batch(frame, view_.ring_id, /*recovery=*/true));
+      ++stats_.batch_frames_sent;
+      if (c_batch_frames_) ++*c_batch_frames_;
+      frame.clear();
+    };
     for (auto it = store_.upper_bound(low); it != store_.end(); ++it) {
-      Mcast copy = it->second;
-      copy.recovery = true;
-      net_.broadcast(id_, encode_mcast(copy));
+      frame.push_back(it->second);
       ++stats_.msgs_retransmitted;
       if (c_msg_retrans_) ++*c_msg_retrans_;
+      if (frame.size() >= chunk) flush();
     }
+    flush();
   }
 
   if (recovery_armed_) scope_.cancel(recovery_timer_);
@@ -756,9 +888,10 @@ void TotemNode::set_recorder(obs::Recorder* rec) {
     c_delivered_ = &rec->counter("totem.msgs_delivered");
     c_ring_changes_ = &rec->counter("totem.ring_changes");
     c_window_stalls_ = &rec->counter("totem.window_stalls");
+    c_batch_frames_ = &rec->counter("totem.batch_frames_sent");
   } else {
     c_token_pass_ = c_rotations_ = c_token_retrans_ = c_msg_retrans_ = nullptr;
-    c_delivered_ = c_ring_changes_ = c_window_stalls_ = nullptr;
+    c_delivered_ = c_ring_changes_ = c_window_stalls_ = c_batch_frames_ = nullptr;
   }
 }
 

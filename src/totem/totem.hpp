@@ -27,7 +27,13 @@
 //
 //   * agreed AND safe delivery classes (safe = held until the token's aru
 //     confirms group-wide reception over two rotations);
-//   * packet envelope with magic + checksum (corrupt datagrams dropped).
+//   * packet envelope with magic + checksum (corrupt datagrams dropped);
+//   * batched message path: every message a node originates during one
+//     token visit rides ONE batch frame (kBatch), sealed by a single
+//     envelope — one checksum, one datagram, per-message zero-copy slices
+//     on the receive side.  Retransmissions (token rtr service) stay
+//     per-message kMcast frames so one lost original doesn't couple the
+//     recovery of its batch-mates.
 //
 // Simplifications relative to full Totem (documented in DESIGN.md): no
 // multiple-ring gateways; flow control is a fixed per-token window.
@@ -117,7 +123,8 @@ struct TotemStats {
   std::uint64_t msgs_delivered = 0;
   std::uint64_t msgs_cancelled = 0;  // cancelled while still queued
   std::uint64_t membership_changes = 0;
-  std::uint64_t window_stalls = 0;  // token visits that left the send queue non-empty
+  std::uint64_t window_stalls = 0;      // token visits that left the send queue non-empty
+  std::uint64_t batch_frames_sent = 0;  // kBatch frames put on the wire
 
   friend bool operator==(const TotemStats&, const TotemStats&) = default;
 };
@@ -186,12 +193,19 @@ class TotemNode {
 
  private:
   // --- Wire formats -------------------------------------------------------
-  enum class MsgType : std::uint8_t { kToken = 1, kMcast = 2, kJoin = 3, kCommit = 4 };
+  enum class MsgType : std::uint8_t {
+    kToken = 1,
+    kMcast = 2,  // single message: retransmissions and recovery gap-fill
+    kJoin = 3,
+    kCommit = 4,
+    kBatch = 5,  // all messages one node originated during one token visit
+  };
 
   /// Every Totem packet is wrapped in a magic + FNV-1a checksum envelope so
   /// corrupted or foreign datagrams are dropped instead of being
-  /// misinterpreted as protocol messages.
-  static Bytes seal(Bytes body);
+  /// misinterpreted as protocol messages.  Encoders build the envelope and
+  /// body scatter-gather in one buffer (begin/finish helpers in totem.cpp)
+  /// rather than sealing a separately-allocated body.
   static bool unseal(const SharedBytes& packet, BytesReader& out_reader);
 
   struct Token {
@@ -239,11 +253,16 @@ class TotemNode {
   static Bytes encode_mcast(const Mcast& m);
   static Bytes encode_join(const Join& j);
   static Bytes encode_commit(const Commit& c);
+  /// One frame carrying `msgs` in sequence order.  The frame-level
+  /// `recovery` flag applies to every entry (a node only ever batches
+  /// all-new or all-recovery messages).
+  static Bytes encode_batch(std::span<const Mcast> msgs, RingId ring_id, bool recovery);
 
   // --- Packet handling -----------------------------------------------------
   void on_packet(NodeId src, const SharedBytes& data);
   void handle_token(Token tok);
   void handle_mcast(Mcast m);
+  void handle_batch(RingId ring_id, std::vector<Mcast> msgs);
   void handle_join(const Join& j);
   void handle_commit(const Commit& c);
 
@@ -353,6 +372,7 @@ class TotemNode {
   obs::Counter* c_delivered_ = nullptr;
   obs::Counter* c_ring_changes_ = nullptr;
   obs::Counter* c_window_stalls_ = nullptr;
+  obs::Counter* c_batch_frames_ = nullptr;
 
   // Epoch guard: bumped on crash/restart so stale timer closures become
   // no-ops instead of resurrecting a dead node.

@@ -274,6 +274,59 @@ TEST(RecoveryTest, MonotonicityHoldsAcrossRecovery) {
   }
 }
 
+TEST(RecoveryTest, RetriedGetStateCrossingItsOwnReplyIsDroppedNotDoubleApplied) {
+  // Regression test for the retry/reply race: the retry timer is far below
+  // the end-to-end state-transfer latency, so the recovering replica
+  // re-issues GET_STATE while the reply to its FIRST request is still in
+  // flight.  The stale reply pairs with a superseded recovery epoch — its
+  // checkpoint does not cover the requests ordered between the two
+  // GET_STATEs — so applying it (and then draining the queue rebuilt for
+  // the NEW epoch) would skip or double-apply requests.  The fix tags every
+  // kState reply with its GET_STATE's epoch and drops mismatches.
+  TestbedConfig cfg;
+  // Tuned against the measured transfer timeline: the first GET_STATE is
+  // ordered ~2.6ms after restart and its reply lands ~3.0ms after, so a 3ms
+  // retry re-issues while that first reply is still in flight.
+  cfg.get_state_retry_us = 3'000;
+  Testbed tb(cfg);
+  tb.start();
+  FailStopCheck fail_stop{tb};
+  std::vector<Bytes> replies;
+  drive_client(tb, 60, replies);
+  ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 15; }, 60'000'000));
+
+  tb.crash_server(2);
+  ASSERT_TRUE(run_until(tb, [&] { return replies.size() >= 25; }, 60'000'000));
+  bool recovered = false;
+  tb.restart_server(2, [&] { recovered = true; });
+  // A dense burst of fire-and-forget invocations straddling the retry
+  // point.  Some of these are ordered between the first GET_STATE and its
+  // re-issue — exactly the traffic that sits in the recoverer's replay
+  // queue while only the SECOND epoch's checkpoint covers it.
+  for (Micros off = 2'000; off <= 3'200; off += 100) {
+    tb.sim().after(off, [&tb] { tb.client().invoke(make_get_time_request(), [](const Bytes&) {}); });
+  }
+  ASSERT_TRUE(run_until(tb, [&] { return recovered; }, 200'000'000));
+
+  // The race actually happened: the two healthy replicas served more than
+  // one transfer epoch (each active replica serves every GET_STATE, so one
+  // epoch accounts for exactly two serves)...
+  std::uint64_t served = 0;
+  for (std::uint32_t s = 0; s < 2; ++s) served += tb.server(s).stats().state_transfers_served;
+  EXPECT_GE(served, 4u);
+  // ...yet the recovering replica adopted exactly one checkpoint: every
+  // reply from a superseded epoch was dropped, not applied.
+  EXPECT_EQ(tb.server(2).stats().checkpoints_applied, 1u);
+
+  ASSERT_TRUE(run_until(tb, [&] { return replies.size() == 60; }, 300'000'000));
+  const auto times = reply_times(replies);
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_GT(times[i], times[i - 1]);
+  tb.sim().run_for(2'000'000);
+  // No request was lost or applied twice: all three replicas agree.
+  EXPECT_EQ(tb.server_app(2).time_history(), tb.server_app(0).time_history());
+  EXPECT_EQ(tb.server_app(2).counter(), tb.server_app(0).counter());
+}
+
 TEST(RecoveryTest, RepeatedCrashRecoverCycles) {
   Testbed tb({});
   tb.start();

@@ -16,7 +16,7 @@ namespace cts::gcs {
 namespace {
 
 Bytes pay(const std::string& s) { return Bytes(s.begin(), s.end()); }
-std::string str(const Bytes& b) { return std::string(b.begin(), b.end()); }
+std::string str(std::span<const std::uint8_t> b) { return std::string(b.begin(), b.end()); }
 
 struct Cluster {
   sim::Simulator sim;

@@ -169,6 +169,44 @@ TEST(MultigroupTest, StampedMessagesPreserveCausality) {
   EXPECT_EQ(b_reads[0], b_reads[1]);
 }
 
+TEST(MultigroupTest, FloorIsRaisedBeforeEachCallbackAcrossABatchedFrame) {
+  // Three stamped messages enqueued back-to-back at one node ride a single
+  // token visit as ONE batch frame, so the receiving group's GCS delivers
+  // them in one burst.  The causal floor must be at (or above) each
+  // message's timestamp by the time ITS application callback runs — not
+  // just after the whole batch drains.
+  TwoGroupRig rig(300'000);
+  std::vector<std::pair<Micros, Micros>> seen;  // (stamp, floor at callback)
+  rig.messengers[2]->subscribe(kInterConn, [&](const gcs::Message&, Micros ts, const Bytes&) {
+    seen.push_back({ts, rig.svcs[2]->causal_floor()});
+  });
+  const auto frames_before = rig.totems[0]->stats().batch_frames_sent;
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    StampedPayload p;
+    p.timestamp = 500'000 + static_cast<Micros>(k);
+    p.body = Bytes{static_cast<std::uint8_t>(k)};
+    gcs::Message m;
+    m.hdr.type = gcs::MsgType::kUserRequest;
+    m.hdr.src_grp = kGroupA;
+    m.hdr.dst_grp = kGroupB;
+    m.hdr.conn = kInterConn;
+    m.hdr.tag = kThread;
+    m.hdr.seq = k;
+    m.payload = p.encode();
+    rig.eps[0]->send(std::move(m));
+  }
+  rig.sim.run_for(1'000'000);
+  ASSERT_EQ(seen.size(), 3u);
+  // The three messages really shared one frame.
+  EXPECT_EQ(rig.totems[0]->stats().batch_frames_sent, frames_before + 1);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, 500'001 + static_cast<Micros>(i));
+    EXPECT_GE(seen[i].second, seen[i].first)
+        << "floor lagged its message's stamp at batch position " << i;
+  }
+  EXPECT_EQ(rig.svcs[2]->causal_floor(), 500'003);
+}
+
 TEST(MultigroupTest, FloorDoesNotDisturbUnrelatedMonotonicity) {
   TwoGroupRig rig(300'000);
   std::vector<Micros> reads;

@@ -145,9 +145,11 @@ gcs::Message big_message(MsgSeqNum seq, std::size_t size, std::uint8_t fill) {
   m.hdr.tag = ThreadId{0};
   m.hdr.seq = seq;
   m.hdr.sender_replica = ReplicaId{0};
-  m.payload = Bytes(size, fill);
-  // Make it non-uniform so reassembly order errors are detectable.
-  for (std::size_t i = 0; i < size; ++i) m.payload[i] = static_cast<std::uint8_t>(i * 31 + fill);
+  // Stage in a mutable buffer (the payload view is immutable), non-uniform
+  // so reassembly order errors are detectable.
+  Bytes body(size, fill);
+  for (std::size_t i = 0; i < size; ++i) body[i] = static_cast<std::uint8_t>(i * 31 + fill);
+  m.payload = std::move(body);
   return m;
 }
 
@@ -401,8 +403,9 @@ TEST(CodecFuzzTest, RandomHeadersRoundTrip) {
     m.hdr.seq = rng.next();
     m.hdr.sender_replica = ReplicaId{static_cast<std::uint32_t>(rng.next())};
     m.hdr.sender_node = NodeId{static_cast<std::uint32_t>(rng.next())};
-    m.payload.resize(rng.below(200));
-    for (auto& b : m.payload) b = static_cast<std::uint8_t>(rng.next());
+    Bytes body(rng.below(200));
+    for (auto& b : body) b = static_cast<std::uint8_t>(rng.next());
+    m.payload = std::move(body);
 
     const auto d = gcs::GcsEndpoint::decode(gcs::GcsEndpoint::encode(m));
     EXPECT_EQ(d.hdr.seq, m.hdr.seq);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -40,6 +41,27 @@ TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
   sim.at(100, [&] { sim.after(50, [&] { fired_at = sim.now(); }); });
   sim.run();
   EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, RunForSaturatesAtTheMicrosHorizon) {
+  Simulator sim;
+  constexpr Micros kMax = std::numeric_limits<Micros>::max();
+  bool fired = false;
+  sim.at(1'000, [&] { fired = true; });
+  sim.run_until(500);
+  // now + max would wrap into the past; run_for must clamp to the horizon
+  // and mean "run everything ever scheduled".
+  sim.run_for(kMax);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), kMax);
+  sim.run_for(kMax);  // already at the horizon: stays put
+  EXPECT_EQ(sim.now(), kMax);
+  // Events scheduled AT the horizon still run.
+  bool late = false;
+  sim.after(0, [&] { late = true; });
+  sim.run_for(1);
+  EXPECT_TRUE(late);
+  EXPECT_EQ(sim.now(), kMax);
 }
 
 TEST(SimulatorTest, CancelPreventsExecution) {

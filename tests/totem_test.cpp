@@ -367,6 +367,41 @@ TEST(TotemCancelTest, CancelAfterSendFails) {
   EXPECT_EQ(c.delivered[1].size(), 1u);
 }
 
+TEST(TotemCancelTest, CancelDuringATokenVisitSplitsAtTheBatchBoundary) {
+  // A token visit drains the queue into one batch frame and then
+  // self-delivers; a delivery callback may reenter cancel().  The batch
+  // boundary is the commit point: batch-mates are already on the wire
+  // (cancel fails), messages queued behind the frame are not (cancel
+  // succeeds), and neither kind may be delivered twice or leak.
+  totem::TotemConfig tcfg;
+  tcfg.max_messages_per_token = 2;  // m0,m1 ride this visit; m2 stays queued
+  Cluster c(1, {}, tcfg);
+  c.start_all();
+  ASSERT_TRUE(c.converge());
+  auto& n = *c.nodes[0];
+  std::uint64_t h1 = 0, h2 = 0;
+  std::vector<std::string> got;
+  bool cancelled_mate = true, cancelled_queued = false;
+  n.set_deliver_handler([&](NodeId, const SharedBytes& b) {
+    got.push_back(str(b));
+    if (got.size() == 1) {
+      cancelled_mate = n.cancel(h1);    // batch-mate: committed to the wire
+      cancelled_queued = n.cancel(h2);  // behind the batch: still queued
+    }
+  });
+  n.multicast(msg("m0"));
+  h1 = n.multicast(msg("m1"));
+  h2 = n.multicast(msg("m2"));
+  c.sim.run_for(100'000);
+  EXPECT_FALSE(cancelled_mate);
+  EXPECT_TRUE(cancelled_queued);
+  EXPECT_EQ(got, (std::vector<std::string>{"m0", "m1"}));
+  EXPECT_EQ(n.queued(), 0u);
+  EXPECT_EQ(n.stats().msgs_cancelled, 1u);
+  EXPECT_EQ(n.stats().msgs_multicast, 2u);
+  EXPECT_GE(n.stats().batch_frames_sent, 1u);
+}
+
 // --- Malformed-packet robustness -----------------------------------------------
 //
 // An attacker (or a flaky NIC) can put arbitrary datagrams on the wire; the
@@ -473,6 +508,119 @@ TEST(TotemRobustnessTest, TruncatedTokenDoesNotStallTheRing) {
   w.u32(0);               // aru_setter
   w.u32(0);               // fcc
   w.u32(0xffffffffu);     // rtr count: lies
+  f.inject(forge_sealed(std::move(w).take()));
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, TrailingGarbageAfterAValidMcastIsRejected) {
+  InjectionFixture f;
+  const RingId ring_before = f.c.nodes[0]->view().ring_id;
+  // A structurally complete mcast followed by one extra byte.  The envelope
+  // checksum covers the garbage, so the seal verifies — only exact-length
+  // body framing can reject it.  If the prefix were accepted, the foreign
+  // ring id would send the whole cluster back into Gather.
+  BytesWriter w;
+  w.u8(2);           // kMcast
+  w.u64(1);          // foreign ring_id
+  w.u64(5);          // seq
+  w.u32(9);          // sender
+  w.boolean(false);  // recovery
+  w.u8(0);           // kAgreed
+  w.u32(3);          // payload length
+  w.u8(7), w.u8(8), w.u8(9);
+  w.u8(0xee);        // trailing garbage
+  f.inject(forge_sealed(std::move(w).take()));
+  EXPECT_EQ(f.c.nodes[0]->view().ring_id, ring_before) << "garbage packet disturbed the ring";
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, TrailingGarbageAfterAValidBatchIsRejected) {
+  InjectionFixture f;
+  const RingId ring_before = f.c.nodes[0]->view().ring_id;
+  BytesWriter w;
+  w.u8(5);           // kBatch
+  w.u64(1);          // foreign ring_id
+  w.boolean(false);  // recovery
+  w.u32(1);          // count: one entry...
+  w.u64(7);          // seq
+  w.u32(9);          // sender
+  w.u8(0);           // kAgreed
+  w.u32(2);          // payload length
+  w.u8(1), w.u8(2);
+  w.u8(0xee);        // ...but bytes left over after the last entry
+  f.inject(forge_sealed(std::move(w).take()));
+  EXPECT_EQ(f.c.nodes[0]->view().ring_id, ring_before);
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, BatchCountLyingBeyondTheBodyIsRejected) {
+  InjectionFixture f;
+  // The frame claims two entries but carries only one: the parser must die
+  // in CodecError on the missing second entry, never read past the buffer.
+  BytesWriter w;
+  w.u8(5);           // kBatch
+  w.u64(1);          // ring_id
+  w.boolean(false);  // recovery
+  w.u32(2);          // count lies
+  w.u64(7);          // entry 1: seq
+  w.u32(9);          // sender
+  w.u8(0);           // kAgreed
+  w.u32(0);          // empty payload
+  f.inject(forge_sealed(std::move(w).take()));
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, InvalidDeliveryClassIsRejected) {
+  InjectionFixture f;
+  // Delivery class 7 names no guarantee; accepting it would put an
+  // unclassifiable message into the store.  Both the single-message and
+  // the batched encodings must reject it.
+  BytesWriter m;
+  m.u8(2);           // kMcast
+  m.u64(1);
+  m.u64(5);
+  m.u32(9);
+  m.boolean(false);
+  m.u8(7);           // bogus delivery class
+  m.u32(0);
+  f.inject(forge_sealed(std::move(m).take()));
+  BytesWriter b;
+  b.u8(5);           // kBatch
+  b.u64(1);
+  b.boolean(false);
+  b.u32(1);
+  b.u64(7);
+  b.u32(9);
+  b.u8(7);           // bogus delivery class inside a batch entry
+  b.u32(0);
+  f.inject(forge_sealed(std::move(b).take()));
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, UnknownMessageTypeIsRejected) {
+  InjectionFixture f;
+  BytesWriter w;
+  w.u8(9);  // no such MsgType
+  w.u64(1);
+  f.inject(forge_sealed(std::move(w).take()));
+  f.expect_ring_still_healthy();
+}
+
+TEST(TotemRobustnessTest, TrailingGarbageAfterAValidTokenIsRejected) {
+  InjectionFixture f;
+  const RingId ring = f.c.nodes[0]->view().ring_id;
+  // A forged token for the CURRENT ring with a huge token_seq would, if
+  // accepted, hijack token circulation; the trailing byte must kill it.
+  BytesWriter w;
+  w.u8(1);           // kToken
+  w.u64(ring);
+  w.u64(1u << 30);   // token_seq far ahead
+  w.u64(0);          // seq
+  w.u64(0);          // aru
+  w.u32(0);          // aru_setter
+  w.u32(0);          // fcc
+  w.u32(0);          // rtr count
+  w.u8(0xee);        // trailing garbage
   f.inject(forge_sealed(std::move(w).take()));
   f.expect_ring_still_healthy();
 }

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a bench trajectory file (BENCH_sim_core.json schema v1).
+
+Usage: check_bench_schema.py FILE [FILE...]
+
+The recorded performance trajectory is an append-only series of labeled
+runs; CI gates on this checker so a malformed append (truncated write,
+duplicate label, missing metric) is caught at merge time rather than when
+someone next tries to plot the trajectory.
+
+Exit status: 0 if every file validates, 1 otherwise (all problems are
+reported, not just the first).
+"""
+
+import json
+import sys
+
+
+def fail(problems, path, msg):
+    problems.append(f"{path}: {msg}")
+
+
+def check_result(problems, path, label, res, idx):
+    where = f"runs[{label!r}].results[{idx}]"
+    if not isinstance(res, dict):
+        fail(problems, path, f"{where} is not an object")
+        return
+    name = res.get("name")
+    if not isinstance(name, str) or not name:
+        fail(problems, path, f"{where} has no benchmark name")
+        return
+    for key in ("iterations", "real_ns_per_op", "cpu_ns_per_op"):
+        v = res.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            fail(problems, path, f"{where} ({name}): {key!r} must be a non-negative number, got {v!r}")
+    ips = res.get("items_per_second")
+    if ips is not None and (not isinstance(ips, (int, float)) or isinstance(ips, bool) or ips < 0):
+        fail(problems, path, f"{where} ({name}): optional 'items_per_second' must be a non-negative number, got {ips!r}")
+
+
+def check_file(problems, path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(problems, path, f"unreadable: {e}")
+        return
+    except json.JSONDecodeError as e:
+        fail(problems, path, f"not valid JSON: {e}")
+        return
+
+    if not isinstance(doc, dict):
+        fail(problems, path, "top level must be an object")
+        return
+    if doc.get("schema") != 1:
+        fail(problems, path, f"'schema' must be 1, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("benchmark"), str) or not doc.get("benchmark"):
+        fail(problems, path, "'benchmark' must be a non-empty string")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(problems, path, "'runs' must be a non-empty array")
+        return
+
+    seen_labels = set()
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            fail(problems, path, f"runs[{i}] is not an object")
+            continue
+        label = run.get("label")
+        if not isinstance(label, str) or not label:
+            fail(problems, path, f"runs[{i}] has no label")
+            continue
+        if label in seen_labels:
+            fail(problems, path, f"duplicate run label {label!r}")
+        seen_labels.add(label)
+        results = run.get("results")
+        if not isinstance(results, list) or not results:
+            fail(problems, path, f"runs[{label!r}] has no results")
+            continue
+        names = set()
+        for j, res in enumerate(results):
+            check_result(problems, path, label, res, j)
+            if isinstance(res, dict) and res.get("name") in names:
+                fail(problems, path, f"runs[{label!r}] repeats benchmark {res.get('name')!r}")
+            if isinstance(res, dict) and isinstance(res.get("name"), str):
+                names.add(res["name"])
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        check_file(problems, path)
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if not problems:
+        print(f"ok: {len(argv) - 1} trajectory file(s) validate")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
