@@ -26,7 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "gcs/gcs.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "replication/checkpoint_chain.hpp"
 #include "sim/simulator.hpp"
 #include "totem/totem.hpp"
@@ -197,6 +199,53 @@ void BM_RingBatchThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
 }
 BENCHMARK(BM_RingBatchThroughput);
+
+// The runtime ordering oracle's per-delivery cost on a loaded 4-node GCS
+// group: node 0 keeps the send queue topped up with 64-byte ordered
+// multicasts, every node's GCS delivery path runs with a Recorder wired —
+// Arg(0) with the oracle disabled (counters only), Arg(1) with every
+// delivery verified against the canonical sequence.  items = messages
+// delivered at node 3.  The token-ring benches above carry no Recorder at
+// all, so their recorded trajectory is untouched by the oracle's existence.
+void BM_OracleOverhead(benchmark::State& state) {
+  sim::Simulator sim(17);
+  net::Network net(sim, {});
+  obs::Recorder rec(sim);
+  if (state.range(0) == 1) rec.enable_oracle(/*abort_on_violation=*/true);
+  totem::TotemConfig tcfg;
+  for (std::uint32_t i = 0; i < 4; ++i) tcfg.universe.push_back(NodeId{i});
+  constexpr GroupId kGrp{1};
+  std::vector<std::unique_ptr<totem::TotemNode>> nodes;
+  std::vector<std::unique_ptr<gcs::GcsEndpoint>> eps;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_unique<totem::TotemNode>(sim, net, NodeId{i}, tcfg));
+    eps.push_back(std::make_unique<gcs::GcsEndpoint>(sim, *nodes.back()));
+    eps.back()->set_recorder(&rec);
+    nodes.back()->start();
+    eps.back()->join_group(kGrp, ReplicaId{i});
+  }
+  sim.run_for(100'000);  // ring formation + view settle
+  std::uint64_t delivered = 0;
+  eps[3]->subscribe(kGrp, [&delivered](const gcs::Message&) { ++delivered; });
+  const Bytes payload(64, 0xCD);
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    while (sent < delivered + 64) {
+      gcs::Message m;
+      m.hdr.type = gcs::MsgType::kUserRequest;
+      m.hdr.src_grp = kGrp;
+      m.hdr.dst_grp = kGrp;
+      m.hdr.conn = ConnectionId{7};
+      m.hdr.tag = ThreadId{0};
+      m.hdr.seq = ++sent;
+      m.payload = payload;
+      eps[0]->send(std::move(m));
+    }
+    sim.run(1024);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+}
+BENCHMARK(BM_OracleOverhead)->Arg(0)->Arg(1);
 
 // Chain-verification cost on the recovering replica's hot path: decode and
 // verify a chained checkpoint (16 KiB snapshot, 64-link header chain) as

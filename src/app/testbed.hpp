@@ -13,9 +13,11 @@
 // benchmark, and the examples.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "app/time_server.hpp"
@@ -74,6 +76,13 @@ struct TestbedConfig {
 
   /// Application factory; defaults to the paper's time server.
   replication::ReplicaFactory factory;
+
+  /// Runtime ordering oracle (doc/STATIC_ANALYSIS.md): verifies total
+  /// order, causal floor, clock monotonicity, membership and checkpoint
+  /// coverage on every delivery, and aborts on the first violation.  On by
+  /// default so the whole suite runs under it; the env var CTS_ORACLE
+  /// ("off"/"0" or "on"/"1") overrides this flag either way.
+  bool oracle = true;
 };
 
 /// Well-known ids used by the testbed.
@@ -137,7 +146,14 @@ class Testbed {
     }
 
     // One shared recorder observes every layer of this testbed; endpoints
-    // wire their Totem node, managers wire their time service.
+    // wire their Totem node, managers wire their time service.  The oracle
+    // must exist before the wiring below — layers cache its pointer.
+    bool oracle = cfg_.oracle;
+    if (const char* env = std::getenv("CTS_ORACLE")) {
+      const std::string_view v(env);
+      oracle = !(v == "off" || v == "0");
+    }
+    if (oracle) recorder_.enable_oracle(/*abort_on_violation=*/true);
     net_.set_recorder(&recorder_);
     for (auto& ep : eps_) ep->set_recorder(&recorder_);
     for (auto& m : managers_) m->set_recorder(&recorder_);
@@ -232,6 +248,10 @@ class Testbed {
     managers_[s] = std::make_unique<replication::ReplicaManager>(sim_, *eps_[node],
                                                                  *clocks_[node], mcfg,
                                                                  cfg_.factory);
+    if (auto* orc = recorder_.oracle()) {
+      orc->on_node_reset(NodeId{node});
+      orc->on_replica_reset(mcfg.group, mcfg.replica);
+    }
     eps_[node]->set_recorder(&recorder_);
     managers_[s]->set_recorder(&recorder_);
     managers_[s]->start_recovering(std::move(recovered));
@@ -250,6 +270,11 @@ class Testbed {
     managers_[s] = std::make_unique<replication::ReplicaManager>(sim_, *eps_[node],
                                                                  *clocks_[node], mcfg,
                                                                  cfg_.factory);
+    if (auto* orc = recorder_.oracle()) {
+      orc->on_node_reset(NodeId{node});
+      orc->on_replica_reset(mcfg.group, mcfg.replica);
+      orc->on_group_reset(mcfg.group);
+    }
     eps_[node]->set_recorder(&recorder_);
     managers_[s]->set_recorder(&recorder_);
     managers_[s]->start_cold();

@@ -83,15 +83,16 @@ void ConsistentTimeService::register_thread(ThreadId t) {
 Micros ConsistentTimeService::propose_local_clock(Micros physical) {
   // Paper Figure 2, line 4: local logical clock = physical + offset.
   Micros local = physical + my_clock_offset_;
-  // Multi-group causality (Section 5): never propose at or below an
-  // observed remote timestamp.
-  if (causal_floor_ != kNoTime && local <= causal_floor_) local = causal_floor_ + 1;
   if (cfg_.drift == DriftCompensation::kReferenceBias && reference_ != nullptr) {
     // Section 3.3: add a small proportion of (reference − proposal) so the
     // group clock acquires a repeated bias toward drift-free real time.
     const Micros ref = reference_->read();
     local += static_cast<Micros>(cfg_.reference_gain * static_cast<double>(ref - local));
   }
+  // Multi-group causality (Section 5): never propose at or below an
+  // observed remote timestamp.  Applied LAST — a reference pulling the
+  // proposal backwards must not undercut the floor.
+  if (causal_floor_ != kNoTime && local <= causal_floor_) local = causal_floor_ + 1;
   return local;
 }
 
@@ -175,6 +176,10 @@ void ConsistentTimeService::send_proposal(CcsHandler& h, bool special) {
   h.sent_this_round = true;
   ++stats_.sends_initiated;
   if (c_sends_) ++*c_sends_;
+  if (orc_) {
+    orc_->on_ccs_send(cfg_.group, cfg_.replica, h.my_thread_id, h.my_round_number,
+                      h.proposed_at_round, special);
+  }
 }
 
 // --- Delivery path --------------------------------------------------------------------
@@ -219,6 +224,10 @@ void ConsistentTimeService::on_ccs_delivered(const gcs::Message& m) {
       sh.last_seq_seen = m.hdr.seq;
       recovering_ = false;
       ++stats_.special_rounds;
+      if (orc_) {
+        orc_->on_round_complete(cfg_.group, cfg_.replica, kSpecialThread, m.hdr.seq, effective,
+                                m.hdr.sender_replica, /*special=*/true);
+      }
       CTS_INFO() << "replica " << to_string(cfg_.replica)
                  << " clock initialized from group clock " << effective << " (offset "
                  << my_clock_offset_ << ")";
@@ -251,6 +260,10 @@ void ConsistentTimeService::on_ccs_delivered(const gcs::Message& m) {
       sh.my_round_number = m.hdr.seq;
       sh.last_seq_seen = m.hdr.seq;
       ++stats_.special_rounds;
+      if (orc_) {
+        orc_->on_round_complete(cfg_.group, cfg_.replica, kSpecialThread, m.hdr.seq, effective,
+                                m.hdr.sender_replica, /*special=*/true);
+      }
     }
     return;
   }
@@ -361,6 +374,11 @@ void ConsistentTimeService::try_complete(CcsHandler& h) {
     observer_(rr);
   }
 
+  if (orc_) {
+    orc_->on_round_complete(cfg_.group, cfg_.replica, h.my_thread_id, msg.seq, grp,
+                            msg.sender_replica, msg.payload.special_round);
+  }
+
   auto done = std::move(h.waiting);
   done(grp);
 }
@@ -465,6 +483,7 @@ void ConsistentTimeService::restore(const Bytes& state) {
 
 void ConsistentTimeService::set_recorder(obs::Recorder* rec) {
   rec_ = rec;
+  orc_ = rec ? rec->oracle() : nullptr;
   if (rec) {
     c_rounds_ = &rec->counter("cts.rounds_completed");
     c_wins_ = &rec->counter("cts.rounds_won");

@@ -413,6 +413,7 @@ class ConsistentTimeService {
   CtsStats stats_;
 
   obs::Recorder* rec_ = nullptr;
+  obs::OrderingOracle* orc_ = nullptr;  // cached from rec_ in set_recorder()
   // Hot-path counters, resolved once in set_recorder().
   obs::Counter* c_rounds_ = nullptr;
   obs::Counter* c_wins_ = nullptr;

@@ -71,6 +71,11 @@ class CausalMessenger {
       } catch (const CodecError&) {
         return;
       }
+      if (auto* rec = gcs_.recorder()) {
+        if (auto* orc = rec->oracle()) {
+          orc->on_stamp_observed(my_group_, time_.config().replica, p.timestamp);
+        }
+      }
       time_.advance_causal_floor(p.timestamp);
       if (fn) fn(m, p.timestamp, p.body);
     });

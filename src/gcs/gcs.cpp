@@ -140,7 +140,8 @@ void GcsEndpoint::bump_view(GroupId g) {
     rec_->event(obs::EventKind::kGcsViewChange, totem_.id(), ReplicaId{},
                 static_cast<std::int64_t>(g.value), static_cast<std::int64_t>(v.members.size()));
   }
-  for (auto& fn : view_subscribers_[g]) fn(v);
+  auto& subs = view_subscribers_[g];
+  for (std::size_t i = 0; i < subs.size(); ++i) subs[i](v);
 }
 
 void GcsEndpoint::apply_group_join(const Message& m) {
@@ -161,6 +162,7 @@ void GcsEndpoint::apply_group_leave(const Message& m) {
 }
 
 void GcsEndpoint::on_totem_view(const totem::View& v) {
+  if (orc_) orc_->on_view_installed(totem_.id(), v.ring_id, v.members);
   // Drop group members hosted on nodes that left the ring.  Every endpoint
   // applies the same rule to the same Totem view, so group views stay
   // consistent without extra messages.
@@ -356,14 +358,25 @@ void GcsEndpoint::process_message(Message m) {
                 static_cast<std::int64_t>(m.hdr.type), static_cast<std::int64_t>(m.hdr.seq),
                 static_cast<std::int64_t>(m.hdr.conn.value));
   }
+  if (orc_) {
+    orc_->on_gcs_deliver(totem_.id(), m.hdr.dst_grp, m.hdr.conn,
+                         static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag, m.hdr.seq,
+                         m.hdr.sender_node, m.payload.span());
+  }
   auto sub = subscribers_.find(m.hdr.dst_grp);
   if (sub != subscribers_.end()) {
-    for (auto& fn : sub->second) fn(m);
+    // Index loop: a callback may subscribe (CTS construction during
+    // recovery paths), growing the vector mid-delivery; range-for iterators
+    // would dangle across the reallocation.  New subscribers do not see the
+    // message that triggered their registration.
+    auto& subs = sub->second;
+    for (std::size_t i = 0; i < subs.size(); ++i) subs[i](m);
   }
 }
 
 void GcsEndpoint::set_recorder(obs::Recorder* rec) {
   rec_ = rec;
+  orc_ = rec ? rec->oracle() : nullptr;
   totem_.set_recorder(rec);
   if (rec) {
     c_delivered_ = &rec->counter("gcs.delivered");

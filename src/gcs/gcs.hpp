@@ -174,6 +174,10 @@ class GcsEndpoint {
   /// Attach (or detach, with nullptr) an observability recorder.  Also
   /// wires the underlying Totem node.
   void set_recorder(obs::Recorder* rec);
+  /// The attached recorder (nullptr when observability is off).  Facades
+  /// built on top of the endpoint (CausalMessenger) reach the ordering
+  /// oracle through it.
+  [[nodiscard]] obs::Recorder* recorder() const { return rec_; }
 
   /// Serialize / parse the header+payload wire format (exposed for tests).
   /// decode() takes a span so both Bytes and zero-copy SharedBytes views
@@ -238,6 +242,7 @@ class GcsEndpoint {
 
   GcsStats stats_;
   obs::Recorder* rec_ = nullptr;
+  obs::OrderingOracle* orc_ = nullptr;  // cached from rec_ in set_recorder()
   // Hot-path counters resolved once in set_recorder(); per-type delivery
   // counts are indexed by MsgType so delivery stays map-lookup free.
   obs::Counter* c_delivered_ = nullptr;

@@ -1,0 +1,291 @@
+#include "obs/oracle.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+
+namespace cts::obs {
+
+const char* OrderingOracle::check_name(Check c) {
+  switch (c) {
+    case Check::kTotalOrder:
+      return "total_order";
+    case Check::kMembership:
+      return "membership";
+    case Check::kClockMonotonicity:
+      return "clock_monotonicity";
+    case Check::kAgreement:
+      return "agreement";
+    case Check::kCausalFloor:
+      return "causal_floor";
+    case Check::kCheckpoint:
+      return "checkpoint";
+  }
+  return "?";
+}
+
+OrderingOracle::OrderingOracle(sim::Simulator& sim, MetricsRegistry& metrics, TraceLog& trace,
+                               bool abort_on_violation)
+    : sim_(sim), metrics_(metrics), trace_(trace), abort_on_violation_(abort_on_violation) {
+  c_checks_ = &metrics_.counter("oracle.checks_run");
+  c_violations_ = &metrics_.counter("oracle.violations");
+  c_clamped_ = &metrics_.counter("oracle.floor_checks_clamped");
+  for (std::size_t i = 0; i < kCheckCount; ++i) {
+    violation_counters_[i] =
+        &metrics_.counter(std::string("oracle.violations.") + check_name(static_cast<Check>(i)));
+  }
+}
+
+void OrderingOracle::violate(Check c, NodeId node, ReplicaId replica, std::string detail) {
+  ++violations_total_;
+  ++violations_by_check_[static_cast<std::size_t>(c)];
+  ++*c_violations_;
+  ++*violation_counters_[static_cast<std::size_t>(c)];
+  trace_.record(sim_.now(), EventKind::kOracleViolation, node.value, replica.value,
+                static_cast<std::int64_t>(c));
+  CTS_ERROR() << "ORACLE VIOLATION [" << check_name(c) << "] node=" << node.value
+              << " replica=" << replica.value << ": " << detail;
+  if (log_.size() < 64) {
+    log_.push_back(Violation{c, sim_.now(), node.value, replica.value, std::move(detail)});
+  }
+  if (abort_on_violation_) {
+    // Tests run with abort enabled (Testbed default): an ordering violation
+    // must never survive to a green exit, whatever the test asserts.
+    std::abort();
+  }
+}
+
+// --- Delivery / membership ---------------------------------------------------
+
+void OrderingOracle::on_view_installed(NodeId node, std::uint64_t ring_id,
+                                       std::span<const NodeId> members) {
+  auto& v = views_[node.value];
+  v.ring_id = ring_id;
+  v.members.assign(members.begin(), members.end());
+}
+
+void OrderingOracle::on_gcs_deliver(NodeId node, GroupId dst_grp, ConnectionId conn,
+                                    std::uint8_t type, ThreadId tag, MsgSeqNum seq, NodeId sender,
+                                    std::span<const std::uint8_t> payload) {
+  ++checks_run_;
+  ++*c_checks_;
+
+  // Virtual synchrony: the sender must be a member of the receiver's
+  // currently installed ring view.  Skipped until the node's first view is
+  // observed (formation traffic cannot reach delivery before installation).
+  if (auto vit = views_.find(node.value); vit != views_.end()) {
+    const auto& m = vit->second.members;
+    if (!std::binary_search(m.begin(), m.end(), sender)) {
+      std::ostringstream os;
+      os << "delivery from node " << sender.value << " outside installed view (ring "
+         << vit->second.ring_id << ", " << m.size() << " members)";
+      violate(Check::kMembership, node, ReplicaId{}, os.str());
+    }
+  }
+
+  // Total order: each node's delivery sequence for a group must be a
+  // subsequence of the canonical sequence (order of first delivery
+  // anywhere), with identical payload bytes per key.
+  const MsgKey key{conn.value, type, tag.value, seq};
+  const std::uint64_t hash = fnv1a64(payload);
+  auto& canon = canon_[dst_grp.value];
+  auto [it, fresh] = canon.by_key.try_emplace(key);
+  if (fresh) {
+    it->second.index = canon.next_index++;
+    it->second.payload_hash = hash;
+  } else if (it->second.payload_hash != hash) {
+    std::ostringstream os;
+    os << "payload divergence on grp " << dst_grp.value << " conn " << conn.value << " type "
+       << static_cast<int>(type) << " tag " << tag.value << " seq " << seq;
+    violate(Check::kTotalOrder, node, ReplicaId{}, os.str());
+  }
+
+  auto& cur = cursors_[{node.value, dst_grp.value}];
+  if (cur.synced && it->second.index <= cur.last_index && !fresh) {
+    std::ostringstream os;
+    os << "grp " << dst_grp.value << " delivery (conn " << conn.value << " tag " << tag.value
+       << " seq " << seq << ") at canonical index " << it->second.index
+       << " after index " << cur.last_index << " — order disagrees across nodes";
+    violate(Check::kTotalOrder, node, ReplicaId{}, os.str());
+  }
+  cur.last_index = it->second.index;
+  cur.synced = true;
+}
+
+// --- CTS ---------------------------------------------------------------------
+
+void OrderingOracle::on_stamp_observed(GroupId grp, ReplicaId replica, Micros ts) {
+  auto& rs = replica_state(grp, replica);
+  if (rs.tracked_floor == kNoTime || ts > rs.tracked_floor) rs.tracked_floor = ts;
+}
+
+void OrderingOracle::on_ccs_send(GroupId grp, ReplicaId replica, ThreadId thread, MsgSeqNum round,
+                                 Micros proposed, bool /*special*/) {
+  ++checks_run_;
+  ++*c_checks_;
+  auto& rs = replica_state(grp, replica);
+  if (rs.tracked_floor != kNoTime && proposed <= rs.tracked_floor) {
+    std::ostringstream os;
+    os << "proposal " << proposed << " for round " << round << " (thread " << thread.value
+       << ") at or below causal floor " << rs.tracked_floor;
+    violate(Check::kCausalFloor, NodeId{}, replica, os.str());
+  }
+  sends_[{grp.value, thread.value, round, replica.value}] =
+      SendInfo{proposed, rs.tracked_floor};
+}
+
+void OrderingOracle::on_round_complete(GroupId grp, ReplicaId replica, ThreadId thread,
+                                       MsgSeqNum round, Micros value, ReplicaId winner,
+                                       bool /*special*/) {
+  ++checks_run_;
+  ++*c_checks_;
+
+  // Agreement: every replica completing (grp, thread, round) must observe
+  // the same group-clock value and the same synchronizer.
+  auto [rit, fresh] = rounds_.try_emplace({grp.value, thread.value, round});
+  if (fresh) {
+    rit->second = RoundRecord{value, winner.value};
+  } else if (rit->second.value != value || rit->second.winner != winner.value) {
+    std::ostringstream os;
+    os << "round (thread " << thread.value << ", seq " << round << ") completed with value "
+       << value << " winner " << winner.value << " but was first recorded as value "
+       << rit->second.value << " winner " << rit->second.winner;
+    violate(Check::kAgreement, NodeId{}, replica, os.str());
+  }
+
+  // Causal floor at completion: a value the fast-forward guard clamped
+  // below the winner's floor-at-send breaks causality; a clamp that stays
+  // above the floor is only counted.  Values at or above the proposal are
+  // covered by the send-time check plus the monotone-raise of delivery.
+  if (auto sit = sends_.find({grp.value, thread.value, round, winner.value});
+      sit != sends_.end()) {
+    if (value < sit->second.proposed) {
+      if (sit->second.floor_at_send != kNoTime && value <= sit->second.floor_at_send) {
+        std::ostringstream os;
+        os << "round (thread " << thread.value << ", seq " << round << ") value " << value
+           << " clamped below the winner's causal floor at send " << sit->second.floor_at_send;
+        violate(Check::kCausalFloor, NodeId{}, replica, os.str());
+      } else {
+        ++*c_clamped_;
+      }
+    }
+  }
+
+  // Group-clock monotonicity per (grp, replica, thread): values strictly
+  // increase and wire round numbers never repeat within one incarnation.
+  auto& ts = replica_state(grp, replica).threads[thread.value];
+  if (ts.last_value != kNoTime && value <= ts.last_value) {
+    std::ostringstream os;
+    os << "group clock moved backwards on thread " << thread.value << ": round " << round
+       << " returned " << value << " after " << ts.last_value;
+    violate(Check::kClockMonotonicity, NodeId{}, replica, os.str());
+  }
+  ts.last_value = value;
+  if (ts.round_synced && round <= ts.last_round) {
+    std::ostringstream os;
+    os << "round number " << round << " on thread " << thread.value
+       << " did not advance past " << ts.last_round;
+    violate(Check::kClockMonotonicity, NodeId{}, replica, os.str());
+  }
+  ts.last_round = round;
+  ts.round_synced = true;
+}
+
+// --- Replication -------------------------------------------------------------
+
+void OrderingOracle::on_checkpoint_chain(GroupId grp, ReplicaId replica,
+                                         std::span<const CheckpointLink> chain, bool verified) {
+  ++checks_run_;
+  ++*c_checks_;
+  if (!verified) {
+    violate(Check::kCheckpoint, NodeId{}, replica, "unverified checkpoint chain adopted");
+  }
+  if (chain.empty()) {
+    violate(Check::kCheckpoint, NodeId{}, replica, "empty checkpoint chain adopted");
+    return;
+  }
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i].parent != chain[i - 1].link) {
+      std::ostringstream os;
+      os << "checkpoint chain link " << i << " parent " << chain[i].parent
+         << " does not match previous link " << chain[i - 1].link;
+      violate(Check::kCheckpoint, NodeId{}, replica, os.str());
+    }
+    if (chain[i].upto < chain[i - 1].upto) {
+      std::ostringstream os;
+      os << "checkpoint chain coverage decreasing: upto " << chain[i].upto << " after "
+         << chain[i - 1].upto;
+      violate(Check::kCheckpoint, NodeId{}, replica, os.str());
+    }
+  }
+  auto& rs = replica_state(grp, replica);
+  if (rs.has_chain && chain.back().upto < rs.chain_tail_upto) {
+    std::ostringstream os;
+    os << "adopted checkpoint covers " << chain.back().upto
+       << " requests, rolling back earlier coverage " << rs.chain_tail_upto;
+    violate(Check::kCheckpoint, NodeId{}, replica, os.str());
+  }
+  rs.chain_tail_upto = chain.back().upto;
+  rs.has_chain = true;
+}
+
+void OrderingOracle::on_recovery_epoch(GroupId grp, ReplicaId replica, MsgSeqNum epoch) {
+  ++checks_run_;
+  ++*c_checks_;
+  auto& rs = replica_state(grp, replica);
+  if (rs.has_epoch && epoch <= rs.last_epoch) {
+    std::ostringstream os;
+    os << "recovery epoch " << epoch << " did not supersede " << rs.last_epoch;
+    violate(Check::kCheckpoint, NodeId{}, replica, os.str());
+  }
+  rs.last_epoch = epoch;
+  rs.has_epoch = true;
+}
+
+// --- Lifecycle ---------------------------------------------------------------
+
+void OrderingOracle::on_node_reset(NodeId node) {
+  for (auto& [key, cur] : cursors_) {
+    if (key.first == node.value) cur.synced = false;
+  }
+}
+
+void OrderingOracle::on_replica_reset(GroupId grp, ReplicaId replica) {
+  // A rebuilt replica restores round numbers from a checkpoint that may be
+  // behind its dead predecessor's counters; re-sync them at the next
+  // completion.  Values stay monotone across warm restarts (the adopted
+  // checkpoint's group clock covers every completed round).  Chain coverage
+  // and recovery epochs are per-incarnation: a restart from a stale disk
+  // legitimately adopts an older chain before catching up via state
+  // transfer, and GET_STATE wire sequences restart with the connection.
+  auto& rs = replica_state(grp, replica);
+  for (auto& [t, ts] : rs.threads) ts.round_synced = false;
+  rs.has_chain = false;
+  rs.chain_tail_upto = 0;
+  rs.has_epoch = false;
+}
+
+void OrderingOracle::on_group_reset(GroupId grp) {
+  // Total failure: the suffix of rounds after the newest persisted
+  // checkpoint was lost and will be re-executed with fresh (higher) values,
+  // so per-round agreement history no longer applies.  Value monotonicity
+  // is deliberately NOT reset: the restored state must force the group
+  // clock above every reading handed out before the outage.
+  std::erase_if(rounds_, [&](const auto& kv) { return std::get<0>(kv.first) == grp.value; });
+  std::erase_if(sends_, [&](const auto& kv) { return std::get<0>(kv.first) == grp.value; });
+  // Connection sequence numbers restart with the group, so (conn, type,
+  // tag, seq) keys are legitimately reused: the canonical delivery
+  // sequence rebuilds from the post-restart traffic.
+  canon_.erase(grp.value);
+  std::erase_if(cursors_, [&](const auto& kv) { return kv.first.second == grp.value; });
+  for (auto& [key, rs] : replicas_) {
+    if (key.first == grp.value) {
+      for (auto& [t, ts] : rs.threads) ts.round_synced = false;
+    }
+  }
+}
+
+}  // namespace cts::obs

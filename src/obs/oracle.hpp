@@ -1,0 +1,232 @@
+// OrderingOracle: a runtime checker for the paper's ordering guarantees.
+//
+// The test suite's assertions are mostly end-state equality and
+// byte-identical traces; both can stay green while an ordering invariant is
+// violated for a window and repaired before the final check.  The oracle
+// closes that gap: hooks threaded through GCS delivery, the CTS round
+// engine, the CausalMessenger and the ReplicaManager report every ordering
+// decision, and the oracle verifies the properties the paper promises *as
+// they happen*:
+//
+//   1. Total order (Totem/GCS): every node delivers each group's messages
+//      as a subsequence of one canonical sequence (the order of first
+//      delivery anywhere), and each (conn, type, tag, seq) key carries the
+//      same payload bytes at every node.
+//   2. Membership (virtual synchrony): a delivery's sender is a member of
+//      the receiving node's currently installed ring view.  Sound because
+//      Totem installs a new view only after the transitional flush of
+//      old-ring messages, and recovery rebroadcast accepts only messages
+//      from the receiver's own old ring (totem.cpp).
+//   3. Group-clock monotonicity (paper Section 3): the values returned by
+//      completed CCS rounds are strictly increasing per (group, replica,
+//      thread), and round numbers never repeat.
+//   4. Round agreement: every replica that completes round (group, thread,
+//      seq) observes the same group-clock value and the same synchronizer.
+//   5. Causal floor (paper Section 5): no proposal is sent at or below the
+//      sender's floor, where the oracle tracks the floor itself from the
+//      timestamps the CausalMessenger observed — a CTS that forgets to
+//      raise its floor is caught, not trusted.  At completion, a value the
+//      fast-forward guard clamped below the winner's floor-at-send is a
+//      violation; a clamp that stays above it is only counted.
+//   6. Checkpoint coverage (state transfer): every adopted checkpoint
+//      chain is link-consistent (parent[i] == link[i-1], non-decreasing
+//      `upto`), verified by the adopter, and never rolls an earlier
+//      adoption back; recovery epochs are strictly increasing.
+//
+// The oracle lives in the Recorder (one per Testbed) and is reached through
+// the same nullable pointers the metrics wiring uses, so the stack runs
+// unchanged — and the hooks compile to nothing on the hot token-ring path —
+// when it is off.  Checks never feed back into the simulation: no RNG, no
+// scheduled events, no mutation of protocol state.
+//
+// Violations increment `oracle.*` counters, append a kOracleViolation trace
+// event and (by default under the Testbed) abort the process so a test run
+// cannot quietly pass across one.  Injection tests construct the oracle
+// directly with abort disabled and assert that each check fires.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace cts::obs {
+
+/// One header of a checkpoint hash chain, mirrored into plain integers so
+/// the oracle does not depend on the replication layer's types.
+struct CheckpointLink {
+  std::uint64_t upto = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t link = 0;
+};
+
+class OrderingOracle {
+ public:
+  enum class Check : std::uint8_t {
+    kTotalOrder = 0,
+    kMembership,
+    kClockMonotonicity,
+    kAgreement,
+    kCausalFloor,
+    kCheckpoint,
+  };
+  static constexpr std::size_t kCheckCount = 6;
+
+  struct Violation {
+    Check check{};
+    Micros at = 0;
+    std::uint32_t node = NodeId::kInvalid;
+    std::uint32_t replica = ReplicaId::kInvalid;
+    std::string detail;
+  };
+
+  OrderingOracle(sim::Simulator& sim, MetricsRegistry& metrics, TraceLog& trace,
+                 bool abort_on_violation);
+
+  // --- Delivery / membership hooks (GCS) -------------------------------------
+
+  /// A ring view was installed at `node`.  `members` is sorted.
+  void on_view_installed(NodeId node, std::uint64_t ring_id, std::span<const NodeId> members);
+
+  /// A message passed the GCS duplicate filter at `node` and is about to be
+  /// handed to subscribers.  Join/leave control traffic never reaches here.
+  void on_gcs_deliver(NodeId node, GroupId dst_grp, ConnectionId conn, std::uint8_t type,
+                      ThreadId tag, MsgSeqNum seq, NodeId sender,
+                      std::span<const std::uint8_t> payload);
+
+  // --- CTS hooks -------------------------------------------------------------
+
+  /// The CausalMessenger observed a stamped inter-group message at
+  /// (grp, replica); the receiver's causal floor must now exceed `ts`.
+  void on_stamp_observed(GroupId grp, ReplicaId replica, Micros ts);
+
+  /// Replica (grp, replica) multicast a CCS proposal.
+  void on_ccs_send(GroupId grp, ReplicaId replica, ThreadId thread, MsgSeqNum round,
+                   Micros proposed, bool special);
+
+  /// A CCS round completed (or a special-round value was adopted) at
+  /// (grp, replica) with the group-clock `value` and synchronizer `winner`.
+  /// `round` is the wire sequence number of the winning message.
+  void on_round_complete(GroupId grp, ReplicaId replica, ThreadId thread, MsgSeqNum round,
+                         Micros value, ReplicaId winner, bool special);
+
+  // --- Replication hooks -----------------------------------------------------
+
+  /// Replica (grp, replica) adopted (or extended to) the given checkpoint
+  /// chain; `verified` is the adopter's own hash-chain verification result.
+  void on_checkpoint_chain(GroupId grp, ReplicaId replica, std::span<const CheckpointLink> chain,
+                           bool verified);
+
+  /// Replica (grp, replica) issued GET_STATE for recovery epoch `epoch`.
+  void on_recovery_epoch(GroupId grp, ReplicaId replica, MsgSeqNum epoch);
+
+  // --- Lifecycle hooks -------------------------------------------------------
+
+  /// Node `node` restarted: its GCS delivery cursor resynchronizes at its
+  /// next delivery (old-ring recovery may legitimately redeliver).
+  void on_node_reset(NodeId node);
+
+  /// Replica (grp, replica) was rebuilt (warm restart): round numbers may
+  /// rewind to the adopted checkpoint, but clock values must stay monotone.
+  void on_replica_reset(GroupId grp, ReplicaId replica);
+
+  /// Group `grp` suffered a total failure and is cold-starting from disk:
+  /// the suffix of rounds after the newest persisted checkpoint is lost and
+  /// will be re-executed with fresh values, so round agreement history is
+  /// cleared.  Clock values must STILL be monotone (the restored state
+  /// forces the group clock above every reading handed out before).
+  void on_group_reset(GroupId grp);
+
+  // --- Introspection ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_total_; }
+  [[nodiscard]] std::uint64_t violations(Check c) const {
+    return violations_by_check_[static_cast<std::size_t>(c)];
+  }
+  /// The first violations (capped), for test diagnostics.
+  [[nodiscard]] const std::vector<Violation>& violation_log() const { return log_; }
+
+  static const char* check_name(Check c);
+
+ private:
+  // (conn, type, tag, seq) — the GCS duplicate-detection identity of a
+  // logical message within a destination group.
+  using MsgKey = std::tuple<std::uint32_t, std::uint8_t, std::uint32_t, MsgSeqNum>;
+
+  struct CanonEntry {
+    std::size_t index = 0;       // position in the canonical sequence
+    std::uint64_t payload_hash = 0;
+  };
+  struct GroupCanon {
+    std::map<MsgKey, CanonEntry> by_key;
+    std::size_t next_index = 0;
+  };
+  struct NodeCursor {
+    std::size_t last_index = 0;
+    bool synced = false;  // false until the first delivery after (re)start
+  };
+  struct ViewInfo {
+    std::uint64_t ring_id = 0;
+    std::vector<NodeId> members;
+  };
+  struct SendInfo {
+    Micros proposed = kNoTime;
+    Micros floor_at_send = kNoTime;  // oracle-tracked floor of the sender
+  };
+  struct RoundRecord {
+    Micros value = kNoTime;
+    std::uint32_t winner = ReplicaId::kInvalid;
+  };
+  struct ThreadState {
+    Micros last_value = kNoTime;
+    MsgSeqNum last_round = 0;
+    bool round_synced = false;  // round numbers resync after replica reset
+  };
+  struct ReplicaState {
+    Micros tracked_floor = kNoTime;
+    std::uint64_t chain_tail_upto = 0;
+    bool has_chain = false;
+    MsgSeqNum last_epoch = 0;
+    bool has_epoch = false;
+    std::map<std::uint32_t, ThreadState> threads;  // by thread id
+  };
+
+  void violate(Check c, NodeId node, ReplicaId replica, std::string detail);
+  ReplicaState& replica_state(GroupId grp, ReplicaId r) {
+    return replicas_[{grp.value, r.value}];
+  }
+
+  sim::Simulator& sim_;
+  MetricsRegistry& metrics_;
+  TraceLog& trace_;
+  bool abort_on_violation_;
+
+  Counter* c_checks_;
+  Counter* c_violations_;
+  Counter* c_clamped_;
+  Counter* violation_counters_[kCheckCount];
+
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t violations_total_ = 0;
+  std::uint64_t violations_by_check_[kCheckCount] = {};
+  std::vector<Violation> log_;
+
+  std::map<std::uint32_t, GroupCanon> canon_;                          // by group id
+  std::map<std::pair<std::uint32_t, std::uint32_t>, NodeCursor> cursors_;  // (node, group)
+  std::map<std::uint32_t, ViewInfo> views_;                            // by node id
+  // (group, thread, round, sender replica) -> proposal snapshot
+  std::map<std::tuple<std::uint32_t, std::uint32_t, MsgSeqNum, std::uint32_t>, SendInfo> sends_;
+  // (group, thread, round) -> agreed result
+  std::map<std::tuple<std::uint32_t, std::uint32_t, MsgSeqNum>, RoundRecord> rounds_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, ReplicaState> replicas_;  // (group, replica)
+};
+
+}  // namespace cts::obs

@@ -9,10 +9,12 @@
 // perturb determinism.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
+#include "obs/oracle.hpp"
 #include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
@@ -29,6 +31,19 @@ class Recorder {
 
   /// Shortcut for metrics().counter() — the common wiring call.
   Counter& counter(const std::string& name) { return metrics_.counter(name); }
+
+  /// Create the runtime ordering oracle (doc/STATIC_ANALYSIS.md).  Must be
+  /// called BEFORE the layers' set_recorder() wiring — they cache the
+  /// oracle pointer alongside their hot-path counters.  Idempotent.
+  OrderingOracle& enable_oracle(bool abort_on_violation = true) {
+    if (!oracle_) {
+      oracle_ = std::make_unique<OrderingOracle>(sim_, metrics_, trace_, abort_on_violation);
+    }
+    return *oracle_;
+  }
+
+  /// The oracle, or nullptr when disabled (the default outside the Testbed).
+  [[nodiscard]] OrderingOracle* oracle() { return oracle_.get(); }
 
   /// Record a trace event stamped with the current simulated time.
   void event(EventKind kind, NodeId node = NodeId{}, ReplicaId replica = ReplicaId{},
@@ -58,6 +73,7 @@ class Recorder {
   sim::Simulator& sim_;
   MetricsRegistry metrics_;
   TraceLog trace_;
+  std::unique_ptr<OrderingOracle> oracle_;
 };
 
 /// Honor the observability environment variables:

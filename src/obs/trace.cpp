@@ -33,6 +33,7 @@ const char* to_string(EventKind k) {
     case EventKind::kFailover: return "failover";
     case EventKind::kRecoveryStart: return "recovery_start";
     case EventKind::kRecoveryComplete: return "recovery_complete";
+    case EventKind::kOracleViolation: return "oracle_violation";
   }
   return "unknown";
 }

@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   kFailover,           // a=promotion count at this replica
   kRecoveryStart,
   kRecoveryComplete,   // a=requests replayed or queued
+  // oracle
+  kOracleViolation,    // a=OrderingOracle::Check that fired
 };
 
 [[nodiscard]] const char* to_string(EventKind k);

@@ -130,6 +130,7 @@ void ReplicaManager::send_get_state() {
   m.hdr.seq = static_cast<MsgSeqNum>(sim_.now()) + 1;
   m.hdr.sender_replica = cfg_.replica;
   recovery_epoch_ = m.hdr.seq;
+  if (orc_) orc_->on_recovery_epoch(cfg_.group, cfg_.replica, recovery_epoch_);
   gcs_.send(std::move(m));
 
   // Re-issues can overlap an armed retry (e.g. a checkpoint raced clock
@@ -157,6 +158,7 @@ void ReplicaManager::start_cold() {
       if (auto d = verify_state_payload(*state)) {
         apply_full_checkpoint(d->snapshot);
         chain_ = std::move(d->headers);
+        note_chain(/*verified=*/true);
         delivery_count_ = processed_count_;
         CTS_INFO() << "replica " << to_string(cfg_.replica) << " cold-started from disk ("
                    << processed_count_ << " requests covered)";
@@ -363,6 +365,7 @@ Bytes ReplicaManager::full_checkpoint() const {
 Bytes ReplicaManager::chained_checkpoint() {
   const Bytes snapshot = full_checkpoint();
   extend_chain(chain_, processed_count_, snapshot);
+  note_chain(/*verified=*/true);
   return encode_chained_checkpoint(snapshot, chain_);
 }
 
@@ -560,6 +563,7 @@ void ReplicaManager::on_state(const gcs::Message& m) {
     }
     apply_full_checkpoint(d->snapshot);
     chain_ = std::move(d->headers);
+    note_chain(/*verified=*/true);
     persist_locally();
     recovering_ = false;
     gcs_.join_group(cfg_.group, cfg_.replica);  // now a full member
@@ -592,6 +596,7 @@ void ReplicaManager::on_state(const gcs::Message& m) {
     if (d->headers.back().upto > processed_count_) {
       apply_full_checkpoint(d->snapshot);
       chain_ = std::move(d->headers);
+      note_chain(/*verified=*/true);
       delivery_count_ = processed_count_;
       persist_locally();
     }
@@ -606,12 +611,22 @@ void ReplicaManager::on_state(const gcs::Message& m) {
   if (cfg_.style == ReplicationStyle::kPassive && !primary_) {
     apply_full_checkpoint(d->snapshot);
     chain_ = std::move(d->headers);
+    note_chain(/*verified=*/true);
     persist_locally();
   }
 }
 
+void ReplicaManager::note_chain(bool verified) {
+  if (!orc_) return;
+  std::vector<obs::CheckpointLink> links;
+  links.reserve(chain_.size());
+  for (const auto& h : chain_) links.push_back({h.upto, h.digest, h.parent, h.link});
+  orc_->on_checkpoint_chain(cfg_.group, cfg_.replica, links, verified);
+}
+
 void ReplicaManager::set_recorder(obs::Recorder* rec) {
   rec_ = rec;
+  orc_ = rec ? rec->oracle() : nullptr;
   cts_.set_recorder(rec);
 }
 

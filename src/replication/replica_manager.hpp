@@ -152,6 +152,10 @@ class ReplicaManager {
   /// wires the embedded ConsistentTimeService.
   void set_recorder(obs::Recorder* rec);
 
+  /// Report the current checkpoint chain to the ordering oracle (no-op
+  /// without one).  Called at every adoption/extension site.
+  void note_chain(bool verified);
+
  private:
   struct PendingRequest {
     gcs::Message msg;
@@ -246,6 +250,7 @@ class ReplicaManager {
 
   ManagerStats stats_;
   obs::Recorder* rec_ = nullptr;
+  obs::OrderingOracle* orc_ = nullptr;  // cached from rec_ in set_recorder()
 };
 
 }  // namespace cts::replication

@@ -308,6 +308,226 @@ TEST(DetlintTest, SuppressionOnlySilencesItsOwnRule) {
   EXPECT_TRUE(has_rule(fs, "unused-suppression"));
 }
 
+// --- raw strings & splices (v2 stripper) ---------------------------------------
+
+TEST(DetlintTest, RawStringContentsAreNotCode) {
+  EXPECT_TRUE(lint_content("src/net/a.hpp",
+                           "const char* s = R\"(std::unordered_map<int,int> g;)\";\n")
+                  .empty());
+  // Multi-line raw string: the hazard spans lines inside the literal.
+  const std::string src = "const char* doc = R\"doc(\n"
+                          "std::unordered_map<int, int> global_table;\n"
+                          "std::rand();\n"
+                          ")doc\";\n";
+  EXPECT_TRUE(lint_content("src/net/a.hpp", src).empty());
+}
+
+TEST(DetlintTest, CodeAfterRawStringOnSameLineIsStillCode) {
+  const std::string src =
+      "emit(R\"(text)\"); std::unordered_map<int, int> live_map;\n";
+  const auto fs = lint_content("src/net/a.hpp", src);
+  EXPECT_TRUE(has_rule(fs, "unordered-container"));
+}
+
+TEST(DetlintTest, QuoteInsideRawStringDoesNotOpenALiteral) {
+  // The `"` inside the raw string must not swallow the hazard after it.
+  const std::string src = "const char* s = R\"(say \"hi\")\"; std::rand();\n";
+  EXPECT_TRUE(has_rule(lint_content("src/app/a.cpp", src), "raw-random"));
+}
+
+TEST(DetlintTest, SplicedLineCommentHidesTheNextLine) {
+  // A `//` comment ending in a backslash splices onto the next physical
+  // line, so the "code" there is still comment text.
+  const std::string src = "// hazard disabled: \\\n"
+                          "std::unordered_map<int, int> g;\n";
+  EXPECT_TRUE(lint_content("src/net/a.hpp", src).empty());
+}
+
+TEST(DetlintTest, SplicedStringLiteralIsNotCode) {
+  const std::string src = "const char* s = \"std::unordered_map \\\n"
+                          "<int,int> g;\";\n";
+  EXPECT_TRUE(lint_content("src/net/a.hpp", src).empty());
+}
+
+// --- static-mutable-state (v2) -------------------------------------------------
+
+TEST(DetlintTest, NamespaceScopeMutableStateFlaggedInHazardLayers) {
+  const auto fs = lint_content("src/gcs/a.cpp", "static int g_total = 0;\n");
+  ASSERT_TRUE(has_rule(fs, "static-mutable-state"));
+  EXPECT_EQ(line_of(fs, "static-mutable-state"), 1);
+  // A plain (non-static) global is just as shared.
+  EXPECT_TRUE(has_rule(lint_content("src/totem/a.cpp", "int g_rounds;\n"),
+                       "static-mutable-state"));
+  // Inside a named namespace too.
+  const std::string ns = "namespace cts::gcs {\n"
+                         "static std::vector<int> g_pending;\n"
+                         "}\n";
+  EXPECT_TRUE(has_rule(lint_content("src/gcs/b.cpp", ns), "static-mutable-state"));
+}
+
+TEST(DetlintTest, ImmutableOrThreadSafeStateNotFlagged) {
+  EXPECT_TRUE(lint_content("src/gcs/a.cpp", "static const int kMax = 8;\n").empty());
+  EXPECT_TRUE(lint_content("src/gcs/a.cpp", "constexpr int kBits = 3;\n").empty());
+  EXPECT_TRUE(lint_content("src/gcs/a.cpp", "static thread_local int t_depth = 0;\n").empty());
+  EXPECT_TRUE(lint_content("src/gcs/a.cpp", "static std::once_flag g_once;\n").empty());
+  EXPECT_TRUE(lint_content("src/gcs/a.cpp", "static std::mutex g_lock;\n").empty());
+  // Non-hazard layers keep their globals (the parallel simulator does not
+  // run them on worker threads).
+  EXPECT_FALSE(has_rule(lint_content("tools/ctsim/main.cpp", "static int g_verbose = 0;\n"),
+                        "static-mutable-state"));
+  EXPECT_FALSE(has_rule(lint_content("tests/a_test.cpp", "static int g_calls = 0;\n"),
+                        "static-mutable-state"));
+}
+
+TEST(DetlintTest, ClassStaticMutableMemberFlagged) {
+  const std::string src = "class Endpoint {\n"
+                          "  static int live_count_;\n"
+                          "};\n";
+  const auto fs = lint_content("src/gcs/a.hpp", src);
+  ASSERT_TRUE(has_rule(fs, "static-mutable-state"));
+  EXPECT_EQ(line_of(fs, "static-mutable-state"), 2);
+  // Per-instance members are fine.
+  EXPECT_TRUE(lint_content("src/gcs/a.hpp", "class E {\n  int count_ = 0;\n};\n").empty());
+  // constexpr class statics are immutable.
+  EXPECT_TRUE(
+      lint_content("src/gcs/a.hpp", "class E {\n  static constexpr int kMax = 4;\n};\n").empty());
+}
+
+TEST(DetlintTest, FunctionLocalStaticFlagged) {
+  const std::string src = "int next_id() {\n"
+                          "  static int counter = 0;\n"
+                          "  return ++counter;\n"
+                          "}\n";
+  const auto fs = lint_content("src/cts/a.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "static-local"));
+  EXPECT_EQ(line_of(fs, "static-local"), 2);
+  // A static lookup table is const: initialized once, read forever.
+  const std::string table = "int classify(int x) {\n"
+                            "  static const std::set<int> kSpecial = {1, 2};\n"
+                            "  return kSpecial.count(x);\n"
+                            "}\n";
+  EXPECT_TRUE(lint_content("src/cts/a.cpp", table).empty());
+}
+
+TEST(DetlintTest, StaticMutableStateSuppressible) {
+  const std::string src = "static int g_epoch = 0;  "
+                          "// detlint:allow(static-mutable-state): guarded by init-once barrier\n";
+  EXPECT_TRUE(lint_content("src/gcs/a.cpp", src).empty());
+}
+
+// --- global-in-callback (v2 cross-file pass) -----------------------------------
+
+TEST(DetlintTest, GlobalReferencedFromHazardLayerWarns) {
+  const std::vector<detlint::SourceFile> files = {
+      {"src/app/config.cpp", "int g_retry_budget = 3;\n"},
+      {"src/gcs/deliver.cpp",
+       "void on_deliver() {\n"
+       "  if (g_retry_budget > 0) retry();\n"
+       "}\n"},
+  };
+  const auto fs = detlint::lint_sources(files);
+  ASSERT_TRUE(has_rule(fs, "global-in-callback"));
+  for (const Finding& f : fs) {
+    if (f.rule == "global-in-callback") {
+      EXPECT_EQ(f.file, "src/gcs/deliver.cpp");
+      EXPECT_EQ(f.line, 2);
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+}
+
+TEST(DetlintTest, GlobalReferenceFromNonHazardLayerIsQuiet) {
+  const std::vector<detlint::SourceFile> files = {
+      {"src/app/config.cpp", "int g_retry_budget = 3;\n"},
+      {"src/app/use.cpp", "void f() { g_retry_budget = 1; }\n"},   // same layer class
+      {"tools/ctsim/main.cpp", "void g() { g_retry_budget = 2; }\n"},  // not a hazard layer
+  };
+  EXPECT_FALSE(has_rule(detlint::lint_sources(files), "global-in-callback"));
+}
+
+TEST(DetlintTest, MemberAccessDoesNotMatchGlobalName) {
+  const std::vector<detlint::SourceFile> files = {
+      {"src/app/config.cpp", "int budget = 3;\n"},
+      {"src/gcs/deliver.cpp",
+       "void on_deliver() {\n"
+       "  if (cfg.budget > 0) retry();\n"
+       "  if (cfg->budget > 0) retry();\n"
+       "}\n"},
+  };
+  EXPECT_FALSE(has_rule(detlint::lint_sources(files), "global-in-callback"));
+}
+
+// --- iterator invalidation / callback under iteration (v2) ---------------------
+
+TEST(DetlintTest, MutationOfRangeForContainerFlagged) {
+  const std::string src = "void f() {\n"
+                          "  for (const auto& s : subs_) {\n"
+                          "    if (s.dead) subs_.erase(s.id);\n"
+                          "  }\n"
+                          "}\n";
+  const auto fs = lint_content("src/gcs/a.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "iterator-invalidation"));
+  EXPECT_EQ(line_of(fs, "iterator-invalidation"), 3);
+}
+
+TEST(DetlintTest, MutationOfDifferentObjectSameMemberNameNotFlagged) {
+  // The totem view-install idiom: iterate c.members, append to v.members.
+  const std::string src = "void f() {\n"
+                          "  for (const auto& m : c.members) v.members.push_back(m.node);\n"
+                          "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/totem/a.cpp", src), "iterator-invalidation"));
+}
+
+TEST(DetlintTest, MutationAfterTheLoopNotFlagged) {
+  const std::string src = "void f() {\n"
+                          "  for (const auto& s : subs_) mark(s);\n"
+                          "  subs_.clear();\n"
+                          "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/gcs/a.cpp", src), "iterator-invalidation"));
+}
+
+TEST(DetlintTest, CallbackInvokedWhileIteratingMemberContainerFlagged) {
+  const std::string src = "void f() {\n"
+                          "  for (auto& fn : subs_) fn(msg);\n"
+                          "}\n";
+  const auto fs = lint_content("src/gcs/a.cpp", src);
+  ASSERT_TRUE(has_rule(fs, "callback-under-iteration"));
+  EXPECT_EQ(line_of(fs, "callback-under-iteration"), 2);
+}
+
+TEST(DetlintTest, CallbackOverLocalSnapshotNotFlagged) {
+  // Snapshot-then-call is the sanctioned fix; a local range is safe.
+  const std::string src = "void f() {\n"
+                          "  auto copy = subs_;\n"
+                          "  for (auto& fn : copy) fn(msg);\n"
+                          "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/gcs/a.cpp", src), "callback-under-iteration"));
+}
+
+TEST(DetlintTest, MethodCallOnLoopVariableNotFlagged) {
+  // h.destroy() is a member call on the element, not an invocation of a
+  // stored callback.
+  const std::string src = "void f() {\n"
+                          "  for (auto& h : handles_) h.destroy();\n"
+                          "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/sim/a.cpp", src), "callback-under-iteration"));
+}
+
+// --- JSON output ---------------------------------------------------------------
+
+TEST(DetlintTest, JsonOutputCarriesCountsAndFindings) {
+  const Finding warn{"src/a.hpp", 3, "pointer-key", Severity::kWarning, "keyed on pointer"};
+  const Finding err{"src/b.cpp", 7, "wall-clock", Severity::kError, "say \"when\""};
+  const std::string js = detlint::to_json({warn, err}, 42);
+  EXPECT_NE(js.find("\"files_scanned\": 42"), std::string::npos);
+  EXPECT_NE(js.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"warnings\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"rule\": \"wall-clock\""), std::string::npos);
+  EXPECT_NE(js.find("\"severity\": \"warning\""), std::string::npos);
+  EXPECT_NE(js.find("say \\\"when\\\""), std::string::npos);  // escaping
+  EXPECT_NE(detlint::to_json({}, 0).find("\"findings\": []"), std::string::npos);
+}
+
 // --- exit codes ----------------------------------------------------------------
 
 TEST(DetlintTest, ExitCodeIsSeverityRanked) {

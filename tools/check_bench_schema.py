@@ -62,6 +62,7 @@ def check_file(problems, path):
         return
 
     seen_labels = set()
+    labels_in_order = []
     for i, run in enumerate(runs):
         if not isinstance(run, dict):
             fail(problems, path, f"runs[{i}] is not an object")
@@ -73,6 +74,7 @@ def check_file(problems, path):
         if label in seen_labels:
             fail(problems, path, f"duplicate run label {label!r}")
         seen_labels.add(label)
+        labels_in_order.append(label)
         results = run.get("results")
         if not isinstance(results, list) or not results:
             fail(problems, path, f"runs[{label!r}] has no results")
@@ -84,6 +86,33 @@ def check_file(problems, path):
                 fail(problems, path, f"runs[{label!r}] repeats benchmark {res.get('name')!r}")
             if isinstance(res, dict) and isinstance(res.get("name"), str):
                 names.add(res["name"])
+
+    check_pairing(problems, path, labels_in_order)
+
+
+def pair_prefix(label, marker):
+    """The pairing key of a '<prefix>-before-...' / '<prefix>-after-...'
+    label: the text before the marker segment, or None if the label has no
+    such segment.  The marker must be a whole dash-delimited segment, so
+    'pr9-aftermath-fix' does not count as an 'after' label."""
+    segments = label.split("-")
+    for k, seg in enumerate(segments):
+        if seg == marker and k > 0:
+            return "-".join(segments[:k])
+    return None
+
+
+def check_pairing(problems, path, labels):
+    """Every '<prefix>-after-*' run must ride with its '<prefix>-before-*'
+    partner: an optimization PR that records only the after-number has lost
+    its baseline, and the trajectory can no longer show the delta."""
+    before_prefixes = {pair_prefix(lab, "before") for lab in labels}
+    for lab in labels:
+        prefix = pair_prefix(lab, "after")
+        if prefix is not None and prefix not in before_prefixes:
+            fail(problems, path,
+                 f"run label {lab!r} has no matching {prefix + '-before-*'!r} partner: "
+                 f"record the baseline run before the optimized one")
 
 
 def main(argv):

@@ -21,7 +21,10 @@ bool starts_with(const std::string& s, const std::string& prefix) {
 }
 
 /// Protocol layers where iteration order and container choice are part of
-/// the replicated state machine's determinism contract.
+/// the replicated state machine's determinism contract.  The same layers
+/// are the thread-hazard layers: they are the code a parallel simulator
+/// (ROADMAP item 4) will run on worker threads, so shared mutable state
+/// here is tomorrow's data race.
 bool in_protocol_layer(const std::string& path) {
   static const char* kLayers[] = {"src/net/",  "src/sim/",         "src/totem/",
                                   "src/gcs/",  "src/replication/", "src/cts/"};
@@ -54,6 +57,16 @@ bool in_node_layer(const std::string& path) {
   return false;
 }
 
+/// Where the callback/iteration rules run: the hazard layers plus the app
+/// wiring (the Testbed iterates subscriber lists too).
+bool in_callback_layer(const std::string& path) {
+  return in_protocol_layer(path) || starts_with(path, "src/app/");
+}
+
+/// Only src/ globals enter the cross-file index: event callbacks live in
+/// src/, and a test's namespace-scope fixture cannot be reached from there.
+bool indexed_for_globals(const std::string& path) { return starts_with(path, "src/"); }
+
 // --- Line splitting & comment/string stripping --------------------------------
 
 std::vector<std::string> split_lines(const std::string& content) {
@@ -79,18 +92,52 @@ struct StrippedLine {
   std::string comment;
 };
 
-/// Comment-aware stripper.  `in_block` carries /* ... */ state across
-/// lines.  Escape sequences inside literals are honored; raw strings are
-/// not (the repo style avoids them, and a raw string would at worst blank
-/// too little, never invent code text).
-StrippedLine strip_line(const std::string& line, bool& in_block) {
+/// Lexer state carried across physical lines: /* */ blocks, raw string
+/// literals (R"delim( ... )delim"), and line-continuation splices — a
+/// trailing backslash extends both // comments and ordinary string
+/// literals onto the next physical line.
+struct StripState {
+  bool in_block = false;        // inside /* ... */
+  bool in_line_comment = false; // a // comment spliced onward with a trailing backslash
+  bool in_raw = false;          // inside a raw string literal
+  std::string raw_delim;        // the )delim" terminator we are scanning for
+  bool in_string = false;       // inside a spliced ordinary literal
+  char quote = '"';
+};
+
+/// Would the '"' at `at` open a raw string?  True when the characters
+/// before it form an encoding prefix ending in R (R, u8R, uR, UR, LR) that
+/// is not the tail of a longer identifier.
+bool raw_prefix_before(const std::string& line, std::size_t at) {
+  if (at == 0 || line[at - 1] != 'R') return false;
+  std::size_t b = at - 1;  // start of the identifier that ends at the quote
+  while (b > 0 && (std::isalnum(static_cast<unsigned char>(line[b - 1])) != 0 ||
+                   line[b - 1] == '_')) {
+    --b;
+  }
+  const std::string prefix = line.substr(b, at - b);
+  return prefix == "R" || prefix == "u8R" || prefix == "uR" || prefix == "UR" || prefix == "LR";
+}
+
+/// Comment/string-aware stripper.  Raw strings are blanked in full (only
+/// the opening and closing quote survive, so the tokenizer still sees one
+/// string token); escape sequences inside ordinary literals are honored.
+StrippedLine strip_line(const std::string& line, StripState& st) {
   StrippedLine out;
   out.code.reserve(line.size());
+  const bool spliced = !line.empty() && line.back() == '\\';
+  if (st.in_line_comment) {
+    // The previous line's // comment was spliced onto this one.
+    out.comment = line;
+    out.code.append(line.size(), ' ');
+    st.in_line_comment = spliced;
+    return out;
+  }
   std::size_t i = 0;
   while (i < line.size()) {
-    if (in_block) {
+    if (st.in_block) {
       if (line.compare(i, 2, "*/") == 0) {
-        in_block = false;
+        st.in_block = false;
         out.code += "  ";
         i += 2;
       } else {
@@ -100,14 +147,48 @@ StrippedLine strip_line(const std::string& line, bool& in_block) {
       }
       continue;
     }
+    if (st.in_raw) {
+      const std::size_t end = line.find(st.raw_delim, i);
+      if (end == std::string::npos) {
+        out.code.append(line.size() - i, ' ');
+        break;
+      }
+      // Blank through the delimiter, keep the closing quote.
+      out.code.append(end + st.raw_delim.size() - 1 - i, ' ');
+      out.code.push_back('"');
+      i = end + st.raw_delim.size();
+      st.in_raw = false;
+      continue;
+    }
+    if (st.in_string) {
+      // Continuation of a spliced ordinary literal.
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out.code += "  ";
+          i += 2;
+          continue;
+        }
+        if (line[i] == st.quote) {
+          out.code.push_back(st.quote);
+          ++i;
+          st.in_string = false;
+          break;
+        }
+        out.code.push_back(' ');
+        ++i;
+      }
+      if (i >= line.size() && st.in_string && !spliced) st.in_string = false;
+      continue;
+    }
     const char c = line[i];
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
       out.comment.append(line, i + 2, std::string::npos);
       out.code.append(line.size() - i, ' ');
+      st.in_line_comment = spliced;
       break;
     }
     if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
+      st.in_block = true;
       out.code += "  ";
       i += 2;
       continue;
@@ -120,24 +201,43 @@ StrippedLine strip_line(const std::string& line, bool& in_block) {
       ++i;
       continue;
     }
+    if (c == '"' && raw_prefix_before(line, i)) {
+      // R"delim( ... : blank the delimiter, remember the `)delim"` closer.
+      const std::size_t open = line.find('(', i + 1);
+      if (open == std::string::npos) {  // ill-formed; treat as ordinary text
+        out.code.push_back(c);
+        ++i;
+        continue;
+      }
+      st.raw_delim = ")" + line.substr(i + 1, open - i - 1) + "\"";
+      out.code.push_back('"');
+      out.code.append(open - i, ' ');
+      i = open + 1;
+      st.in_raw = true;
+      continue;
+    }
     if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.code.push_back(quote);
+      st.quote = c;
+      out.code.push_back(c);
       ++i;
+      bool closed = false;
       while (i < line.size()) {
         if (line[i] == '\\' && i + 1 < line.size()) {
           out.code += "  ";
           i += 2;
           continue;
         }
-        if (line[i] == quote) {
-          out.code.push_back(quote);
+        if (line[i] == st.quote) {
+          out.code.push_back(st.quote);
           ++i;
+          closed = true;
           break;
         }
         out.code.push_back(' ');
         ++i;
       }
+      // An unterminated literal on a spliced line continues on the next.
+      if (!closed && spliced) st.in_string = true;
       continue;
     }
     out.code.push_back(c);
@@ -201,6 +301,422 @@ std::vector<Suppression> collect_suppressions(const std::vector<StrippedLine>& l
 
 bool covers(const Suppression& s, const std::string& rule, int line) {
   return (line == s.comment_line || line == s.target_line) && s.rules.count(rule) > 0;
+}
+
+// --- Tokenizer -----------------------------------------------------------------
+
+struct Tok {
+  enum Kind { kIdent, kNumber, kString, kPunct };
+  Kind kind = kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Tokenize the stripped code lines.  Preprocessor lines (and their
+/// backslash continuations) are skipped entirely — a `#define X {` must not
+/// unbalance the brace tracker.  Multi-char operators that matter to the
+/// scope walker (`::` vs `:`, `==`/`!=`/`<=`/`>=` vs `=`) are kept whole.
+std::vector<Tok> tokenize(const std::vector<StrippedLine>& lines) {
+  static const char* kOps[] = {"->*", "...", "<<=", ">>=", "::", "->", "==", "!=", "<=",
+                               ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=",
+                               "%=", "&=", "|=", "^=", "++", "--"};
+  std::vector<Tok> toks;
+  bool in_pp = false;  // inside a (possibly spliced) preprocessor directive
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int line_no = static_cast<int>(li + 1);
+    const std::size_t first = code.find_first_not_of(" \t");
+    const bool spliced = !code.empty() && code[code.find_last_not_of(" \t") == std::string::npos
+                                                   ? 0
+                                                   : code.find_last_not_of(" \t")] == '\\';
+    if (in_pp) {
+      in_pp = spliced;
+      continue;
+    }
+    if (first != std::string::npos && code[first] == '#') {
+      in_pp = spliced;
+      continue;
+    }
+    std::size_t i = 0;
+    while (i < code.size()) {
+      const char c = code[i];
+      if (c == ' ' || c == '\t' || c == '\\') {
+        ++i;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t j = i + 1;
+        while (j < code.size() && ident_char(code[j])) ++j;
+        toks.push_back({Tok::kIdent, code.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t j = i + 1;
+        while (j < code.size() && (ident_char(code[j]) || code[j] == '.' || code[j] == '\'')) ++j;
+        toks.push_back({Tok::kNumber, code.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // The stripper blanked the contents but kept both quotes; scan to
+        // the partner quote (possibly on a later physical line for spliced
+        // literals — then just emit what we have).
+        std::size_t j = i + 1;
+        while (j < code.size() && code[j] != c) ++j;
+        toks.push_back({Tok::kString, std::string(1, c) + c, line_no});
+        i = (j < code.size()) ? j + 1 : code.size();
+        continue;
+      }
+      bool matched = false;
+      for (const char* op : kOps) {
+        const std::size_t n = std::string::traits_type::length(op);
+        if (code.compare(i, n, op) == 0) {
+          toks.push_back({Tok::kPunct, op, line_no});
+          i += n;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      toks.push_back({Tok::kPunct, std::string(1, c), line_no});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+// --- Scope walker & declaration analysis ---------------------------------------
+
+enum class ScopeKind : std::uint8_t { kNamespace, kClass, kEnum, kFunction, kBlock, kInit };
+
+bool contains_tok(const std::vector<const Tok*>& stmt, const char* text) {
+  for (const Tok* t : stmt) {
+    if (t->text == text) return true;
+  }
+  return false;
+}
+
+/// Classify the scope opened by a `{` from the statement head before it.
+ScopeKind classify_brace(const std::vector<const Tok*>& stmt, ScopeKind parent) {
+  const bool in_code = parent == ScopeKind::kFunction || parent == ScopeKind::kBlock;
+  if (stmt.empty()) return in_code ? ScopeKind::kBlock : ScopeKind::kInit;
+  if (contains_tok(stmt, "namespace")) return ScopeKind::kNamespace;
+  if (stmt.front()->text == "extern" && stmt.size() >= 2 && stmt[1]->kind == Tok::kString) {
+    return ScopeKind::kNamespace;  // extern "C" linkage block
+  }
+  const bool has_paren = contains_tok(stmt, "(");
+  if (!has_paren && (contains_tok(stmt, "class") || contains_tok(stmt, "struct") ||
+                     contains_tok(stmt, "union"))) {
+    return ScopeKind::kClass;
+  }
+  if (!has_paren && contains_tok(stmt, "enum")) return ScopeKind::kEnum;
+  static const std::set<std::string> kControl = {"if",    "for", "while", "switch",
+                                                 "do",    "else", "try",  "catch"};
+  if (kControl.count(stmt.front()->text) > 0) return ScopeKind::kBlock;
+  const std::string& last = stmt.back()->text;
+  if (last == "=") return ScopeKind::kInit;  // `int a[] = {`, `auto x = {`
+  if (last == ")") return ScopeKind::kFunction;
+  static const std::set<std::string> kFnTail = {"const", "noexcept", "override",
+                                                "final", "mutable",  "try"};
+  if (has_paren && kFnTail.count(last) > 0) return ScopeKind::kFunction;
+  if (has_paren) return ScopeKind::kFunction;  // trailing return: `) -> T {`
+  // No parens, no `=`: a braced initializer (`Foo f{...}`) when the head
+  // names a variable, otherwise a bare block.
+  std::size_t idents = 0;
+  for (const Tok* t : stmt) idents += (t->kind == Tok::kIdent) ? 1u : 0u;
+  if (idents >= 2) return ScopeKind::kInit;
+  return in_code ? ScopeKind::kBlock : ScopeKind::kInit;
+}
+
+struct GlobalSym {
+  std::string name;
+  std::string file;
+  int line = 0;
+};
+
+/// Per-file token analysis shared by the declaration pass and the
+/// cross-file reference pass.
+struct TokenAnalysis {
+  std::vector<Tok> toks;
+  std::vector<ScopeKind> scope_at;  // scope each token sits in
+};
+
+/// Statements whose first token can never head a hazardous variable.
+bool skip_decl_head(const std::vector<const Tok*>& stmt) {
+  static const std::set<std::string> kSkipFirst = {
+      "using",  "typedef", "friend",  "template",  "extern", "return",
+      "case",   "goto",    "public",  "private",   "protected",
+      "class",  "struct",  "union",   "enum",      "namespace",
+      "static_assert", "operator",    "if",        "for",    "while",
+      "switch", "do",      "else",    "try",       "catch",  "break",
+      "continue", "delete", "new",    "throw",     "asm"};
+  if (kSkipFirst.count(stmt.front()->text) > 0) return true;
+  for (const Tok* t : stmt) {
+    if (t->text == "template" || t->text == "operator" || t->kind == Tok::kString) return true;
+  }
+  return false;
+}
+
+/// Thread-safe (or immutable) declaration specifiers and types.
+bool decl_exempt(const std::vector<const Tok*>& stmt) {
+  static const std::set<std::string> kExempt = {
+      "const",      "constexpr", "constinit",   "thread_local",       "atomic",
+      "atomic_flag", "mutex",    "shared_mutex", "recursive_mutex",   "once_flag",
+      "condition_variable"};
+  for (const Tok* t : stmt) {
+    if (t->kind == Tok::kIdent && kExempt.count(t->text) > 0) return true;
+  }
+  return false;
+}
+
+/// Analyze one finished statement head for the static/global rules and the
+/// symbol index.  `stmt` holds the tokens before the terminating `;` or the
+/// initializer brace.
+void scan_declaration(const std::vector<const Tok*>& stmt, ScopeKind scope,
+                      const std::string& path, std::vector<Finding>& findings,
+                      std::vector<GlobalSym>& globals) {
+  if (stmt.empty() || skip_decl_head(stmt)) return;
+  const bool target_scope =
+      scope == ScopeKind::kNamespace || scope == ScopeKind::kClass ||
+      scope == ScopeKind::kFunction || scope == ScopeKind::kBlock;
+  if (!target_scope) return;
+  if (decl_exempt(stmt)) return;
+
+  // Truncate at the first top-level `=` (the initializer); a declarator
+  // with parentheses before that point is a function declaration or a
+  // paren-init we cannot disambiguate from one (the most vexing parse), so
+  // only plain `T name;`, `T name = ...;` and `T name{...};` forms match.
+  std::vector<const Tok*> decl;
+  int depth = 0;
+  for (const Tok* t : stmt) {
+    if (t->text == "(" || t->text == "[") ++depth;
+    if (t->text == ")" || t->text == "]") --depth;
+    if (depth == 0 && t->text == "=") break;
+    decl.push_back(t);
+  }
+  if (decl.empty() || contains_tok(decl, "(")) return;
+  // The variable name: last identifier, skipping a trailing array extent.
+  const Tok* name = nullptr;
+  for (auto it = decl.rbegin(); it != decl.rend(); ++it) {
+    if ((*it)->text == "]" || (*it)->text == "[" || (*it)->kind == Tok::kNumber) continue;
+    if ((*it)->kind == Tok::kIdent) name = *it;
+    break;
+  }
+  if (name == nullptr || decl.size() < 2) return;
+
+  const bool has_static = contains_tok(decl, "static");
+  const bool hazard = in_protocol_layer(path);
+  if (scope == ScopeKind::kNamespace) {
+    // A trailing underscore is this repo's member convention: at what the
+    // walker sees as namespace scope it marks a fragment of a class pasted
+    // without its enclosing braces (headers under refactor, test snippets),
+    // not a global.
+    if (name->text.back() == '_') return;
+    if (indexed_for_globals(path) && name->text.size() >= 3) {
+      globals.push_back({name->text, path, name->line});
+    }
+    if (hazard) {
+      findings.push_back(Finding{
+          path, name->line, "static-mutable-state", Severity::kError,
+          std::string(has_static ? "namespace-scope static" : "namespace-scope global") +
+              " '" + name->text +
+              "' is mutable shared state in a protocol layer: the parallel simulator runs "
+              "this code on worker threads; make it const/constexpr, move it into the "
+              "owning object, or mark it thread_local with a justification"});
+    }
+  } else if (scope == ScopeKind::kClass && has_static) {
+    if (hazard) {
+      findings.push_back(Finding{
+          path, name->line, "static-mutable-state", Severity::kError,
+          "class-static member '" + name->text +
+              "' is mutable shared state in a protocol layer: every instance on every "
+              "worker thread shares it; make it const or per-instance"});
+    }
+  } else if ((scope == ScopeKind::kFunction || scope == ScopeKind::kBlock) && has_static) {
+    if (hazard) {
+      findings.push_back(Finding{
+          path, name->line, "static-local", Severity::kError,
+          "function-local static '" + name->text +
+              "' in a protocol layer: initialization is serialized but every later access "
+              "races under a parallel simulator; hoist the state into the owning object or "
+              "make it const/thread_local"});
+    }
+  }
+}
+
+/// Walk the token stream tracking scopes, record each token's enclosing
+/// scope, and run the declaration rules on every finished statement head.
+TokenAnalysis analyze_tokens(const std::string& path, const std::vector<StrippedLine>& lines,
+                             std::vector<Finding>& findings, std::vector<GlobalSym>& globals) {
+  TokenAnalysis ta;
+  ta.toks = tokenize(lines);
+  ta.scope_at.resize(ta.toks.size(), ScopeKind::kNamespace);
+
+  std::vector<ScopeKind> stack;  // empty = translation-unit (namespace) scope
+  std::vector<const Tok*> stmt;
+  const auto current = [&]() {
+    return stack.empty() ? ScopeKind::kNamespace : stack.back();
+  };
+  static const std::set<std::string> kAccess = {"public", "private", "protected"};
+  for (std::size_t i = 0; i < ta.toks.size(); ++i) {
+    const Tok& t = ta.toks[i];
+    ta.scope_at[i] = current();
+    if (t.text == "{") {
+      const ScopeKind kind = classify_brace(stmt, current());
+      if (kind == ScopeKind::kInit && !stmt.empty()) {
+        scan_declaration(stmt, current(), path, findings, globals);
+      }
+      stack.push_back(kind);
+      stmt.clear();
+    } else if (t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      stmt.clear();
+    } else if (t.text == ";") {
+      scan_declaration(stmt, current(), path, findings, globals);
+      stmt.clear();
+    } else if (t.text == ":" && stmt.size() == 1 && kAccess.count(stmt.front()->text) > 0) {
+      stmt.clear();  // access label
+    } else {
+      stmt.push_back(&t);
+    }
+  }
+  return ta;
+}
+
+// --- Range-for rules (iterator invalidation, callback under iteration) ---------
+
+std::size_t match_forward(const std::vector<Tok>& toks, std::size_t open,
+                          const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_text) ++depth;
+    if (toks[i].text == close_text && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+void check_range_for(const std::string& path, const TokenAnalysis& ta,
+                     std::vector<Finding>& findings) {
+  static const std::set<std::string> kMutators = {
+      "push_back", "push_front", "emplace_back", "emplace_front", "emplace", "insert",
+      "erase",     "clear",      "pop_back",     "pop_front",     "resize",  "assign"};
+  const std::vector<Tok>& toks = ta.toks;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].text != "for" || toks[i + 1].text != "(") continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // The range-for separator: a lone `:` at paren depth 1.
+    std::size_t colon = 0;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")") --depth;
+      if (depth == 1 && toks[j].text == ":") {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == 0) continue;  // classic for loop
+    // Loop variable: last identifier of the declaration side.
+    std::string loop_var;
+    for (std::size_t j = colon; j-- > i + 2;) {
+      if (toks[j].kind == Tok::kIdent) {
+        loop_var = toks[j].text;
+        break;
+      }
+    }
+    // Container: the trailing access path of the range expression (the
+    // whole `c.members` / `this->subs_`, not just the last identifier — a
+    // body mutating `v.members` must not match a loop over `c.members`).
+    // Member ranges are recognized by access syntax or the
+    // trailing-underscore convention.
+    std::vector<std::string> container;
+    bool member_range = false;
+    for (std::size_t j = close; j-- > colon + 1;) {
+      const Tok& rt = toks[j];
+      const bool path_tok = rt.kind == Tok::kIdent || rt.text == "." || rt.text == "->";
+      if (!path_tok) break;
+      if (rt.text == "." || rt.text == "->" || rt.text == "this") member_range = true;
+      container.insert(container.begin(), rt.text);
+    }
+    if (!container.empty() && container.back().back() == '_') member_range = true;
+    // Body: a braced block or a single statement.
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < toks.size() && toks[body_begin].text == "{") {
+      body_end = match_forward(toks, body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
+    }
+    std::string container_text;
+    for (const std::string& part : container) container_text += part;
+    for (std::size_t j = body_begin; j < body_end && j + 2 < toks.size(); ++j) {
+      const std::size_t n = container.size();
+      bool path_match = n > 0 && j + n + 1 < toks.size();
+      for (std::size_t k = 0; path_match && k < n; ++k) {
+        if (toks[j + k].text != container[k]) path_match = false;
+      }
+      if (path_match && j > 0 &&
+          (toks[j - 1].text == "." || toks[j - 1].text == "->" ||
+           toks[j - 1].kind == Tok::kIdent)) {
+        path_match = false;  // tail of a longer access path: different object
+      }
+      if (path_match && (toks[j + n].text == "." || toks[j + n].text == "->") &&
+          kMutators.count(toks[j + n + 1].text) > 0) {
+        findings.push_back(Finding{
+            path, toks[j].line, "iterator-invalidation", Severity::kError,
+            "range-for over '" + container_text + "' mutates it via ." + toks[j + n + 1].text +
+                "() inside the loop body: the loop's iterators are invalidated mid-flight; "
+                "collect the changes and apply them after the loop, or iterate by index"});
+      }
+      if (member_range && !loop_var.empty() && toks[j].text == loop_var &&
+          toks[j + 1].text == "(" &&
+          (j == body_begin ||
+           (toks[j - 1].text != "." && toks[j - 1].text != "->" && toks[j - 1].text != "::" &&
+            toks[j - 1].kind != Tok::kIdent))) {
+        findings.push_back(Finding{
+            path, toks[j].line, "callback-under-iteration", Severity::kError,
+            "callback '" + loop_var + "' invoked while range-iterating member container '" +
+                container_text +
+                "': the callee can (un)subscribe and grow the container, invalidating the "
+                "iterator; iterate by index or snapshot the container first"});
+      }
+    }
+  }
+}
+
+// --- Cross-file mutable-global reference pass ----------------------------------
+
+void check_global_refs(const std::string& path, const TokenAnalysis& ta,
+                       const std::map<std::string, GlobalSym>& index,
+                       std::vector<Finding>& findings) {
+  if (!in_protocol_layer(path) || index.empty()) return;
+  std::set<std::pair<int, std::string>> seen;  // one finding per (line, name)
+  for (std::size_t i = 0; i < ta.toks.size(); ++i) {
+    const Tok& t = ta.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    if (ta.scope_at[i] != ScopeKind::kFunction && ta.scope_at[i] != ScopeKind::kBlock) continue;
+    const auto it = index.find(t.text);
+    if (it == index.end() || it->second.file == path) continue;
+    if (i > 0 && (ta.toks[i - 1].text == "." || ta.toks[i - 1].text == "->")) continue;
+    if (!seen.insert({t.line, t.text}).second) continue;
+    std::ostringstream msg;
+    msg << "mutable global '" << t.text << "' (defined at " << it->second.file << ":"
+        << it->second.line
+        << ") referenced from a protocol layer: event callbacks run per-node today and on "
+           "worker threads under the parallel simulator; pass the state in explicitly";
+    findings.push_back(Finding{path, t.line, "global-in-callback", Severity::kWarning,
+                               msg.str()});
+  }
 }
 
 // --- Rules ---------------------------------------------------------------------
@@ -357,33 +873,20 @@ void check_asserts(const std::string& path, const std::vector<StrippedLine>& lin
   }
 }
 
-}  // namespace
+// --- Per-file pipeline ----------------------------------------------------------
 
-// --- Public API -----------------------------------------------------------------
-
-std::vector<Finding> lint_content(const std::string& path, const std::string& content) {
-  const std::vector<std::string> raw = split_lines(content);
+struct FileAnalysis {
+  const SourceFile* src = nullptr;
   std::vector<StrippedLine> lines;
-  lines.reserve(raw.size());
-  bool in_block = false;
-  for (const std::string& l : raw) lines.push_back(strip_line(l, in_block));
+  std::vector<Suppression> sups;
+  TokenAnalysis tokens;
+  std::vector<Finding> findings;  // pre-suppression
+};
 
-  std::vector<Suppression> sups = collect_suppressions(lines);
-
-  std::vector<Finding> findings;
-  for (const RegexRule& rule : regex_rules()) {
-    if (!rule.applies(path)) continue;
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      if (std::regex_search(lines[i].code, rule.pattern)) {
-        findings.push_back(
-            Finding{path, static_cast<int>(i + 1), rule.name, rule.severity, rule.message});
-      }
-    }
-  }
-  check_asserts(path, lines, findings);
-
-  // Deduplicate (two wall-clock patterns can hit one line) before applying
-  // suppressions, so one allow() accounts for one diagnostic.
+/// Dedup (two wall-clock patterns can hit one line), apply suppressions,
+/// then surface bare/unused suppressions as findings of their own.
+std::vector<Finding> finalize_file(const std::string& path, std::vector<Finding> findings,
+                                   std::vector<Suppression>& sups) {
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
   });
@@ -425,6 +928,59 @@ std::vector<Finding> lint_content(const std::string& path, const std::string& co
   return kept;
 }
 
+}  // namespace
+
+// --- Public API -----------------------------------------------------------------
+
+std::vector<Finding> lint_sources(const std::vector<SourceFile>& files) {
+  std::vector<FileAnalysis> fas(files.size());
+  std::vector<GlobalSym> globals;
+
+  // Pass 1: per-file analysis; mutable namespace-scope globals accumulate
+  // into the cross-file symbol index as a side product.
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    FileAnalysis& fa = fas[fi];
+    fa.src = &files[fi];
+    const std::string& path = files[fi].path;
+    const std::vector<std::string> raw = split_lines(files[fi].content);
+    fa.lines.reserve(raw.size());
+    StripState st;
+    for (const std::string& l : raw) fa.lines.push_back(strip_line(l, st));
+    fa.sups = collect_suppressions(fa.lines);
+
+    for (const RegexRule& rule : regex_rules()) {
+      if (!rule.applies(path)) continue;
+      for (std::size_t i = 0; i < fa.lines.size(); ++i) {
+        if (std::regex_search(fa.lines[i].code, rule.pattern)) {
+          fa.findings.push_back(
+              Finding{path, static_cast<int>(i + 1), rule.name, rule.severity, rule.message});
+        }
+      }
+    }
+    check_asserts(path, fa.lines, fa.findings);
+    fa.tokens = analyze_tokens(path, fa.lines, fa.findings, globals);
+    if (in_callback_layer(path)) check_range_for(path, fa.tokens, fa.findings);
+  }
+
+  // Pass 2: references to another file's mutable globals from the protocol
+  // layers.  First declaration of a name wins; duplicates across
+  // translation units are one logical symbol for our purposes.
+  std::map<std::string, GlobalSym> index;
+  for (GlobalSym& g : globals) index.try_emplace(g.name, std::move(g));
+  std::vector<Finding> all;
+  for (FileAnalysis& fa : fas) {
+    check_global_refs(fa.src->path, fa.tokens, index, fa.findings);
+    std::vector<Finding> kept = finalize_file(fa.src->path, std::move(fa.findings), fa.sups);
+    all.insert(all.end(), std::make_move_iterator(kept.begin()),
+               std::make_move_iterator(kept.end()));
+  }
+  return all;
+}
+
+std::vector<Finding> lint_content(const std::string& path, const std::string& content) {
+  return lint_sources({SourceFile{path, content}});
+}
+
 std::vector<Finding> lint_tree(const std::string& root, const std::vector<std::string>& subdirs,
                                std::size_t* files_scanned) {
   namespace fs = std::filesystem;
@@ -448,16 +1004,15 @@ std::vector<Finding> lint_tree(const std::string& root, const std::vector<std::s
   std::sort(files.begin(), files.end());
   if (files_scanned) *files_scanned = files.size();
 
-  std::vector<Finding> all;
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& p : files) {
     std::ifstream in(p, std::ios::binary);
     std::ostringstream ss;
     ss << in.rdbuf();
-    const std::string rel = fs::path(p).lexically_relative(root).generic_string();
-    std::vector<Finding> fs_ = lint_content(rel, ss.str());
-    all.insert(all.end(), fs_.begin(), fs_.end());
+    sources.push_back(SourceFile{fs::path(p).lexically_relative(root).generic_string(), ss.str()});
   }
-  return all;
+  return lint_sources(sources);
 }
 
 std::string format_finding(const Finding& f) {
@@ -465,6 +1020,63 @@ std::string format_finding(const Finding& f) {
   out << f.file << ":" << f.line << ": "
       << (f.severity == Severity::kError ? "error" : "warning") << ": " << f.message << " ["
       << f.rule << "]";
+  return out.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings, std::size_t files_scanned) {
+  std::size_t errors = 0, warnings = 0;
+  for (const Finding& f : findings) {
+    (f.severity == Severity::kError ? errors : warnings) += 1;
+  }
+  std::ostringstream out;
+  out << "{\"files_scanned\": " << files_scanned << ", \"errors\": " << errors
+      << ", \"warnings\": " << warnings << ", \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i > 0) out << ", ";
+    out << "{\"file\": ";
+    json_escape(out, f.file);
+    out << ", \"line\": " << f.line << ", \"rule\": ";
+    json_escape(out, f.rule);
+    out << ", \"severity\": \"" << (f.severity == Severity::kError ? "error" : "warning")
+        << "\", \"message\": ";
+    json_escape(out, f.message);
+    out << "}";
+  }
+  out << "]}\n";
   return out.str();
 }
 

@@ -4,9 +4,17 @@
 // CCS renders clock reads consistent only because every replica sees the
 // same totally-ordered events, and the trace-based tests assume identical
 // seeds yield identical traces.  detlint is the build-time guard for that
-// property: a line-oriented scanner (comment- and string-literal-aware,
-// deliberately not a full C++ front end) that flags the hazard classes
-// which historically break reproducibility after the fact:
+// property — and, since v2, for the thread-safety properties the parallel
+// simulator (ROADMAP item 4) will depend on.
+//
+// v2 architecture: a comment/string/raw-string-aware stripper feeds both a
+// line-oriented regex pass (the v1 rules below) and a tokenizer with a
+// brace/scope tracker (namespace / class / function / block).  lint_sources
+// runs two passes: pass 1 analyzes each file and records every mutable
+// namespace-scope global into a cross-file symbol index; pass 2 flags
+// references to those globals from the protocol layers.
+//
+// Determinism rules (v1, regex pass):
 //
 //   unordered-container   iteration over std::unordered_{map,set} in a
 //                         protocol layer (src/net, src/sim, src/totem,
@@ -32,6 +40,38 @@
 //   pointer-key           std::map/std::set keyed by a pointer type —
 //                         pointer order is allocation order, i.e.
 //                         nondeterministic across runs.
+//   scoped-timer          direct Simulator scheduling from a node-scoped
+//                         layer, bypassing the node's sim::TaskScope.
+//   heap-callback         std::function on the event hot path.
+//
+// Thread-hazard rules (v2, token pass; layers src/sim, src/net, src/totem,
+// src/gcs, src/cts, src/replication are "hazard layers" — the code the
+// parallel simulator will run on worker threads):
+//
+//   static-mutable-state  mutable namespace-scope or class-static variable
+//                         declared in a hazard layer: shared across the
+//                         worker threads of a parallel run.  const,
+//                         constexpr, constinit, thread_local, std::atomic,
+//                         std::mutex and std::once_flag are exempt.
+//   static-local          function-local `static` (thread-hostile lazy
+//                         singleton) in a hazard layer: initialization is
+//                         serialized but every later access races.  Same
+//                         exemptions as static-mutable-state.
+//   global-in-callback    reference, from a hazard layer, to a mutable
+//                         namespace-scope global defined anywhere in the
+//                         scanned set (cross-file pass): event callbacks
+//                         run per-node today and per-thread tomorrow.
+//   iterator-invalidation range-for over a container that the loop body
+//                         mutates (push_back/erase/...): undefined behavior
+//                         today, a heisenbug under concurrent delivery.
+//   callback-under-iteration
+//                         range-for over a *member* container whose loop
+//                         variable is invoked as a callback: the callee can
+//                         subscribe/unsubscribe, growing the container and
+//                         invalidating the iterator mid-loop.  Iterate by
+//                         index or snapshot the container first.  (Member
+//                         detection is the `name_` suffix / `.`/`->` access
+//                         convention, so iterating a local copy is fine.)
 //
 // Suppression: a finding is silenced by `detlint:allow(<rule>[,<rule>...])`
 // in a comment on the same line or the line directly above, and the
@@ -41,6 +81,7 @@
 // cannot accumulate.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -56,10 +97,23 @@ struct Finding {
   std::string message;
 };
 
+/// One in-memory source file for lint_sources (tests feed synthetic
+/// multi-file sets; lint_tree loads them from disk).
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string content;
+};
+
 /// Lint `content` as if it lived at repo-relative `path` (forward slashes;
 /// layer-scoped rules key off the path prefix).  Findings are ordered by
-/// line number.
+/// line number.  Single-file convenience wrapper over lint_sources — the
+/// cross-file pass sees only this file.
 std::vector<Finding> lint_content(const std::string& path, const std::string& content);
+
+/// The full two-pass analysis over a set of files: per-file rules plus the
+/// cross-file mutable-global reference pass.  Findings are grouped by file
+/// in input order, ordered by line within a file.
+std::vector<Finding> lint_sources(const std::vector<SourceFile>& files);
 
 /// Recursively lint every C++ source (.cpp/.cc/.cxx/.hpp/.h/.hh) under
 /// root/<subdir> for each listed subdir, skipping build trees and .git.
@@ -70,6 +124,13 @@ std::vector<Finding> lint_tree(const std::string& root, const std::vector<std::s
 
 /// GCC-style one-line rendering: "path:line: severity: message [rule]".
 [[nodiscard]] std::string format_finding(const Finding& f);
+
+/// The whole result set as a JSON object (stable field order):
+///   {"files_scanned": N, "errors": E, "warnings": W,
+///    "findings": [{"file": ..., "line": ..., "rule": ...,
+///                  "severity": "error"|"warning", "message": ...}, ...]}
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings,
+                                  std::size_t files_scanned);
 
 /// Severity-ranked exit code: 0 = clean, 1 = warnings only, 2 = errors.
 [[nodiscard]] int exit_code(const std::vector<Finding>& findings);

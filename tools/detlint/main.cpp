@@ -13,12 +13,15 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: detlint [--root DIR] [--quiet] [subdir...]\n"
+      "usage: detlint [--root DIR] [--format=text|json] [--quiet] [subdir...]\n"
       "\n"
       "Scans C++ sources under DIR (default: current directory) for\n"
       "determinism and protocol-invariant hazards.  Default subdirs:\n"
       "src tools tests bench examples.  See doc/STATIC_ANALYSIS.md for the\n"
       "rule catalogue and the detlint:allow(<rule>) suppression syntax.\n"
+      "\n"
+      "--format=json emits one machine-readable object (files_scanned,\n"
+      "errors, warnings, findings[]) on stdout for CI annotation.\n"
       "\n"
       "exit code: 0 = clean, 1 = warnings only, 2 = errors\n");
 }
@@ -28,6 +31,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string root = ".";
   bool quiet = false;
+  bool json = false;
   std::vector<std::string> subdirs;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -35,6 +39,10 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--format=json") {
+      json = true;
+    } else if (a == "--format=text") {
+      json = false;
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -50,6 +58,11 @@ int main(int argc, char** argv) {
 
   std::size_t files = 0;
   const std::vector<detlint::Finding> findings = detlint::lint_tree(root, subdirs, &files);
+
+  if (json) {
+    std::fputs(detlint::to_json(findings, files).c_str(), stdout);
+    return detlint::exit_code(findings);
+  }
 
   std::size_t errors = 0, warnings = 0;
   for (const detlint::Finding& f : findings) {
