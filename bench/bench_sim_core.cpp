@@ -26,11 +26,15 @@
 #include <string>
 #include <vector>
 
+#include "app/archipelago.hpp"
+#include "app/testbed.hpp"
 #include "gcs/gcs.hpp"
 #include "net/network.hpp"
 #include "obs/recorder.hpp"
 #include "replication/checkpoint_chain.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
+#include "sim/sweep.hpp"
 #include "totem/totem.hpp"
 
 namespace {
@@ -270,6 +274,72 @@ void BM_StateTransferVerify(benchmark::State& state) {
                           static_cast<std::int64_t>(payload.size()));
 }
 BENCHMARK(BM_StateTransferVerify);
+
+// --- Island-parallel + sweep benches (PR 8) ------------------------------------
+//
+// Both read the worker count from CTS_SIM_THREADS (default 1), so the
+// pr8-before / pr8-after trajectory pair is the same binary run twice: once
+// serial, once with the worker pool on.  The schedule is identical by
+// construction (doc/PARALLEL.md); only wall-clock may move, and it only
+// moves when the host actually has spare cores.
+
+// Events/sec across a 4-ring archipelago with a perpetual cross-ring
+// stamped-message relay.  items = simulator events executed (all islands).
+void BM_ArchipelagoEventsPerSec(benchmark::State& state) {
+  constexpr std::size_t kRings = 4;
+  app::ArchipelagoConfig cfg;
+  cfg.rings = kRings;
+  cfg.seed = 99;
+  cfg.threads = sim::threads_from_env(1);
+  app::Archipelago ar(cfg);
+  ar.on_stamped([&ar](std::size_t ring, std::uint32_t replica, Micros, const Bytes& body) {
+    if (replica != 0) return;
+    ar.stamped_broadcast_at(ar.ring(ring).sim().now() + 20'000, ring, (ring + 1) % kRings,
+                            body);
+  });
+  ar.start(400'000);
+  for (std::size_t r = 0; r < kRings; ++r) {
+    ar.stamped_broadcast_at(450'000 + 5'000 * r, r, (r + 1) % kRings, Bytes{0x55});
+  }
+  std::uint64_t ev0 = 0;
+  for (std::size_t r = 0; r < kRings; ++r) ev0 += ar.ring(r).sim().events_executed();
+  for (auto _ : state) {
+    ar.run_for(100'000);
+  }
+  std::uint64_t ev1 = 0;
+  for (std::size_t r = 0; r < kRings; ++r) ev1 += ar.ring(r).sim().events_executed();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ev1 - ev0));
+  state.counters["workers"] = static_cast<double>(cfg.threads);
+}
+// UseRealTime: with a worker pool the calling thread mostly waits at the
+// barrier, so the CPU-time default would inflate items/sec by exactly the
+// work it handed off.  Wall clock is the number the sweep claims to improve.
+BENCHMARK(BM_ArchipelagoEventsPerSec)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// The scenario-sweep harness on an independent-seed matrix: 8 self-contained
+// testbeds, merged deterministically.  items = scenarios completed.
+void BM_ScenarioSweep(benchmark::State& state) {
+  const unsigned jobs = sim::threads_from_env(1);
+  constexpr std::uint64_t kScenarios = 8;
+  for (auto _ : state) {
+    sim::ScenarioSweep sweep;
+    for (std::uint64_t seed = 1; seed <= kScenarios; ++seed) {
+      sweep.add("s" + std::to_string(seed), [seed] {
+        app::TestbedConfig cfg;
+        cfg.seed = seed;
+        app::Testbed tb(cfg);
+        tb.start();
+        tb.sim().run_for(200'000);
+        return std::to_string(tb.sim().events_executed());
+      });
+    }
+    const auto results = sweep.run(jobs);
+    benchmark::DoNotOptimize(sim::ScenarioSweep::merged_jsonl(results));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kScenarios));
+  state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_ScenarioSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // --- JSON trajectory writer ----------------------------------------------------
 

@@ -1,0 +1,277 @@
+// Archipelago: N Totem rings, each a parallel simulation island, joined by
+// causally-stamped inter-ring messaging — ROADMAP items 1 and 4 meeting in
+// one rig.
+//
+// Each ring is a full Testbed (its own Simulator, LAN, Totem ring, server
+// group, drifting clocks, Recorder/oracle) registered as an island with an
+// IslandCoordinator; the only coupling between rings is the InterIslandLink,
+// whose latency floor is exactly the coordinator's conservative window — so
+// the rings execute whole barrier windows in parallel and the merged
+// schedule is byte-identical to the serial one (doc/PARALLEL.md).
+//
+// Inter-ring traffic follows the paper's Section 5 sketch end to end:
+//
+//   sender ring i:  every live replica performs the same CausalMessenger
+//                   stamp_and_send (one CCS round reads the group clock,
+//                   the reading is prepended to the payload); GCS duplicate
+//                   suppression collapses the copies to one wire message;
+//   gateway:        node 0 of ring i subscribes to every remote ring's
+//                   cross-ring group, so the single delivered copy is
+//                   encoded and shipped over the InterIslandLink;
+//   receiver ring j: the gateway re-originates the message on ring j's
+//                   Totem ring (agreed order among ring j's replicas);
+//                   every replica's CausalMessenger raises the causal floor
+//                   to the carried timestamp before the app callback — all
+//                   of ring j's subsequent clock readings exceed it.
+//
+// Group-id scheme: ring r's server group is GroupId{100+r} (globally
+// unique, so no two rings' RMI traffic shares a group id), its client group
+// GroupId{200+r}, and its cross-ring stamped-message group GroupId{300+r}.
+// The cross-ring group is deliberately disjoint from the server group: the
+// ReplicaManagers subscribe to the server group and treat every
+// kUserRequest there as an RMI invocation, so stamped messages addressed to
+// the server group would be "executed" as garbage requests and answered
+// with spurious replies routed back across the link.  The inter-ring dedup
+// stream tag is ThreadId{7000+r} per source ring, so streams from different
+// rings never collide in a receiver's duplicate detection.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "app/testbed.hpp"
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "cts/multigroup.hpp"
+#include "net/island_link.hpp"
+#include "sim/parallel.hpp"
+
+namespace cts::app {
+
+struct ArchipelagoConfig {
+  /// Number of rings (islands).
+  std::size_t rings = 2;
+  /// Server replicas per ring.
+  std::size_t servers = 3;
+  /// Whether each ring's node 0 hosts an RMI client (and the gateway rides
+  /// on a dedicated node; with false, server 0's node doubles as gateway).
+  bool with_client = true;
+
+  replication::ReplicationStyle style = replication::ReplicationStyle::kActive;
+  std::uint64_t seed = 1;
+
+  /// Per-ring LAN and Totem parameters (applied to every ring).
+  net::NetworkConfig net;
+  totem::TotemConfig totem;
+
+  /// One-way inter-ring latency; doubles as the coordinator's conservative
+  /// window floor, so larger values mean fewer, fatter parallel epochs.
+  Micros link_latency_us = 500;
+
+  /// Island worker threads (1 = serial; same schedule either way).
+  unsigned threads = 1;
+
+  bool oracle = true;
+};
+
+class Archipelago {
+ public:
+  static constexpr ConnectionId kInterRingConn{500};
+
+  /// Called (on the receiving ring's worker) for every stamped inter-ring
+  /// delivery, once per live replica: (ring, replica, timestamp, body).
+  using StampedFn =
+      std::function<void(std::size_t ring, std::uint32_t replica, Micros ts, const Bytes& body)>;
+
+  explicit Archipelago(ArchipelagoConfig cfg)
+      : cfg_(std::move(cfg)),
+        coord_(cfg_.link_latency_us),
+        link_(coord_, net::IslandLinkConfig{cfg_.link_latency_us}) {
+    assert(cfg_.rings >= 1);
+    deliveries_.assign(cfg_.rings, 0);
+    xseq_.assign(cfg_.rings * cfg_.rings, 0);
+    crashed_.assign(cfg_.rings, std::vector<bool>(cfg_.servers, false));
+    messengers_.resize(cfg_.rings);
+
+    for (std::size_t r = 0; r < cfg_.rings; ++r) {
+      TestbedConfig tc;
+      tc.servers = cfg_.servers;
+      tc.with_client = cfg_.with_client;
+      tc.style = cfg_.style;
+      tc.seed = cfg_.seed ^ (0x9E3779B97F4A7C15ull * (r + 1));
+      tc.net = cfg_.net;
+      tc.totem = cfg_.totem;
+      tc.oracle = cfg_.oracle;
+      tc.server_group = group_of(r);
+      tc.client_group = GroupId{static_cast<std::uint32_t>(200 + r)};
+      rings_.push_back(std::make_unique<Testbed>(std::move(tc)));
+      islands_.push_back(coord_.add_island(rings_.back()->sim()));
+    }
+    coord_.set_threads(cfg_.threads);
+
+    for (std::size_t r = 0; r < cfg_.rings; ++r) {
+      link_.attach(islands_[r], rings_[r]->sim(),
+                   [this, r](sim::IslandId src, Bytes frame) {
+                     ingress(r, src, std::move(frame));
+                   });
+      wire_gateway(r);
+      messengers_[r].resize(cfg_.servers);
+      for (std::uint32_t s = 0; s < cfg_.servers; ++s) rebuild_messenger(r, s);
+    }
+  }
+
+  /// Install the inter-ring delivery handler.  Setup-phase only (before
+  /// start()): the handler is invoked from ring workers and must be safe
+  /// for concurrent calls from different rings (ring-local or per-ring
+  /// state only).
+  void on_stamped(StampedFn fn) {
+    assert(!started_);
+    handler_ = std::move(fn);
+  }
+
+  /// Boot every ring and run `settle_us` of virtual time under the
+  /// coordinator so rings form and group views install.
+  void start(Micros settle_us = 400'000) {
+    started_ = true;
+    for (auto& tb : rings_) tb->start(0);
+    coord_.run_for(settle_us);
+  }
+
+  void run_for(Micros d) { coord_.run_for(d); }
+  void run_until(Micros t) { coord_.run_until(t); }
+  [[nodiscard]] Micros now() const { return coord_.now(); }
+
+  /// Schedule "every live replica of `src` performs the same stamped send
+  /// to ring `dst`" at source-ring time `at`.  The per-(src,dst) sequence
+  /// number is assigned when the broadcast executes, in source-ring event
+  /// order, so it is identical for every worker count.  Call during setup
+  /// or from ring `src`'s own execution context (never from another ring's
+  /// callback — scheduling onto a foreign island's heap mid-run is a race).
+  void stamped_broadcast_at(Micros at, std::size_t src, std::size_t dst, Bytes body) {
+    assert(src < cfg_.rings && dst < cfg_.rings && src != dst);
+    rings_[src]->sim().at(at, [this, src, dst, body = std::move(body)]() mutable {
+      broadcast_now(src, dst, std::move(body));
+    });
+  }
+
+  // --- Fault injection (wrappers that keep the messenger layer wired) ---
+
+  void crash_server(std::size_t r, std::uint32_t s) {
+    rings_[r]->crash_server(s);
+    crashed_[r][s] = true;
+  }
+
+  void restart_server(std::size_t r, std::uint32_t s) {
+    rings_[r]->restart_server(s);
+    // The restart rebuilt the node's GCS endpoint and replica manager; the
+    // messenger holds references into both and must be rebuilt with them.
+    rebuild_messenger(r, s);
+    // Without a client, server 0's node is also the ring's gateway — its
+    // fresh endpoint needs the remote-group subscriptions again.
+    if (rings_[r]->server_node(s) == 0) wire_gateway(r);
+    crashed_[r][s] = false;
+  }
+
+  // --- Accessors ---
+
+  [[nodiscard]] std::size_t ring_count() const { return rings_.size(); }
+  Testbed& ring(std::size_t r) { return *rings_[r]; }
+  sim::IslandCoordinator& coordinator() { return coord_; }
+  net::InterIslandLink& link() { return link_; }
+  [[nodiscard]] sim::IslandId island_of(std::size_t r) const { return islands_[r]; }
+
+  /// Ring r's (globally unique) server group id.
+  [[nodiscard]] static GroupId group_of(std::size_t r) {
+    return GroupId{static_cast<std::uint32_t>(100 + r)};
+  }
+
+  /// Ring r's cross-ring stamped-message group.  Disjoint from group_of:
+  /// the ReplicaManagers subscribe to the server group and would execute a
+  /// stamped message delivered there as a garbage RMI request (and route
+  /// the spurious reply back across the link).
+  [[nodiscard]] static GroupId xgroup_of(std::size_t r) {
+    return GroupId{static_cast<std::uint32_t>(300 + r)};
+  }
+
+  /// Stamped inter-ring deliveries observed by ring r's replicas (one count
+  /// per replica per message).  Read between runs.
+  [[nodiscard]] std::uint64_t stamped_deliveries(std::size_t r) const {
+    return deliveries_[r];
+  }
+
+  /// Per-island recorders in island order, for the deterministic obs merge.
+  [[nodiscard]] std::vector<obs::Recorder*> recorders() {
+    std::vector<obs::Recorder*> out;
+    out.reserve(rings_.size());
+    for (auto& tb : rings_) out.push_back(&tb->recorder());
+    return out;
+  }
+
+ private:
+  /// Dedup-stream tag for messages originated by ring r: one stream per
+  /// source ring, shared by all of that ring's replicas so GCS duplicate
+  /// suppression collapses their copies.
+  [[nodiscard]] static ThreadId tag_of(std::size_t r) {
+    return ThreadId{static_cast<std::uint32_t>(7000 + r)};
+  }
+
+  /// Subscribe ring r's gateway endpoint (node 0) to every remote ring's
+  /// cross-ring group: a locally delivered message addressed to ring j
+  /// leaves over the link exactly once (GCS dedup upstream guarantees
+  /// single delivery per endpoint).
+  void wire_gateway(std::size_t r) {
+    for (std::size_t j = 0; j < cfg_.rings; ++j) {
+      if (j == r) continue;
+      rings_[r]->gcs_of(0).subscribe(xgroup_of(j), [this, r, j](const gcs::Message& m) {
+        ++rings_[r]->recorder().counter("xring.egress");
+        link_.send(islands_[r], islands_[j], gcs::GcsEndpoint::encode(m));
+      });
+    }
+  }
+
+  /// Link delivery on ring r's worker: re-originate the frame on ring r's
+  /// Totem ring so all of its replicas receive it in agreed order.
+  void ingress(std::size_t r, sim::IslandId /*src*/, Bytes frame) {
+    ++rings_[r]->recorder().counter("xring.ingress");
+    rings_[r]->gcs_of(0).send(gcs::GcsEndpoint::decode(frame));
+  }
+
+  void broadcast_now(std::size_t src, std::size_t dst, Bytes body) {
+    const MsgSeqNum seq = ++xseq_[src * cfg_.rings + dst];
+    for (std::uint32_t s = 0; s < cfg_.servers; ++s) {
+      if (crashed_[src][s]) continue;
+      messengers_[src][s]->stamp_and_send(xgroup_of(dst), kInterRingConn, seq, body);
+    }
+  }
+
+  void rebuild_messenger(std::size_t r, std::uint32_t s) {
+    Testbed& tb = *rings_[r];
+    const auto node = tb.server_node(s);
+    messengers_[r][s] = std::make_unique<ccs::CausalMessenger>(
+        tb.gcs_of(node), tb.server(s).time_service(), xgroup_of(r), tag_of(r));
+    messengers_[r][s]->subscribe(
+        kInterRingConn, [this, r, s](const gcs::Message&, Micros ts, const Bytes& body) {
+          ++deliveries_[r];
+          ++rings_[r]->recorder().counter("xring.stamped_delivered");
+          if (handler_) handler_(r, s, ts, body);
+        });
+  }
+
+  ArchipelagoConfig cfg_;
+  sim::IslandCoordinator coord_;
+  net::InterIslandLink link_;
+  std::vector<std::unique_ptr<Testbed>> rings_;
+  std::vector<sim::IslandId> islands_;
+  std::vector<std::vector<std::unique_ptr<ccs::CausalMessenger>>> messengers_;
+  std::vector<std::vector<bool>> crashed_;
+  std::vector<std::uint64_t> deliveries_;   // per-ring, each written by its ring's worker
+  std::vector<MsgSeqNum> xseq_;             // per (src,dst), written by src's worker
+  StampedFn handler_;
+  bool started_ = false;
+};
+
+}  // namespace cts::app

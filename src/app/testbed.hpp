@@ -77,6 +77,13 @@ struct TestbedConfig {
   /// Application factory; defaults to the paper's time server.
   replication::ReplicaFactory factory;
 
+  /// Group ids this testbed's server group and client send under.  Ring-
+  /// local by default; the Archipelago (app/archipelago.hpp) assigns each
+  /// ring a globally unique server group so inter-ring messages can name
+  /// their destination ring by group id.
+  GroupId server_group = GroupId{1};
+  GroupId client_group = GroupId{2};
+
   /// Runtime ordering oracle (doc/STATIC_ANALYSIS.md): verifies total
   /// order, causal floor, clock monotonicity, membership and checkpoint
   /// coverage on every delivery, and aborts on the first violation.  On by
@@ -121,7 +128,7 @@ class Testbed {
     for (std::uint32_t s = 0; s < cfg_.servers; ++s) {
       const std::uint32_t node = first_server + s;
       replication::ManagerConfig mcfg;
-      mcfg.group = TestbedIds::kServerGroup;
+      mcfg.group = cfg_.server_group;
       mcfg.replica = ReplicaId{s};
       mcfg.style = cfg_.style;
       mcfg.drift = cfg_.drift;
@@ -140,8 +147,8 @@ class Testbed {
     }
 
     if (cfg_.with_client) {
-      client_ = std::make_unique<orb::RmiClient>(sim_, *eps_[0], TestbedIds::kClientGroup,
-                                                 TestbedIds::kServerGroup,
+      client_ = std::make_unique<orb::RmiClient>(sim_, *eps_[0], cfg_.client_group,
+                                                 cfg_.server_group,
                                                  TestbedIds::kRequestConn);
     }
 

@@ -137,6 +137,31 @@ class Simulator {
     if (now_ < t) now_ = t;
   }
 
+  /// Run every pending event with time strictly below `bound` and leave
+  /// now() at the last fired event (events at exactly `bound` stay queued
+  /// and now() is NOT advanced to the bound).  This is the island epoch
+  /// primitive: under the conservative time-window barrier (doc/PARALLEL.md)
+  /// an island may only execute events that predate the earliest possible
+  /// cross-island delivery, which can land at exactly `bound`.
+  /// Returns the number of events executed.
+  std::uint64_t run_events_before(Micros bound) {
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top_time() < bound) {
+      step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Advance now() to `t` without running anything.  Only legal when no
+  /// pending event predates `t` — the coordinator uses this once per
+  /// run_until() to line every island's clock up on the final bound, the
+  /// same "idle time passes" rule run_until() applies to a single simulator.
+  void advance_to(Micros t) {
+    assert(heap_.empty() || heap_.top_time() >= t);
+    if (now_ < t) now_ = t;
+  }
+
   /// Run for `d` microseconds of simulated time.  Saturates at the Micros
   /// horizon instead of wrapping: `run_for(max)` late in a long run means
   /// "run everything ever scheduled", not signed overflow into the past.
@@ -148,6 +173,11 @@ class Simulator {
   /// Number of scheduled-but-unfired events.  Cancelled events are removed
   /// immediately, so this is the exact live queue depth.
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Time of the earliest pending event.  Only meaningful when
+  /// pending() > 0; the island coordinator reads it to compute the next
+  /// conservative window.
+  [[nodiscard]] Micros next_event_time() const { return heap_.top_time(); }
 
   /// Total events executed since construction (the obs layer exports this
   /// as the `sim.events_executed` counter).

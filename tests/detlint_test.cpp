@@ -513,6 +513,77 @@ TEST(DetlintTest, MethodCallOnLoopVariableNotFlagged) {
   EXPECT_FALSE(has_rule(lint_content("src/sim/a.cpp", src), "callback-under-iteration"));
 }
 
+// --- cross-island-capture (v2) -------------------------------------------------
+
+TEST(DetlintTest, DefaultCaptureInCrossIslandPostFlagged) {
+  const std::string by_ref = "void f() {\n"
+                             "  coord_.post(src, dst, at, [&] { ep->deliver(m); });\n"
+                             "}\n";
+  const std::string by_val = "void f() {\n"
+                             "  coord_.post(src, dst, at, [=] { ep->deliver(m); });\n"
+                             "}\n";
+  const std::string this_cap = "void f() {\n"
+                               "  coord_.post(src, dst, at, [this] { deliver(m); });\n"
+                               "}\n";
+  for (const std::string* src_text : {&by_ref, &by_val, &this_cap}) {
+    const auto fs = lint_content("src/net/a.hpp", *src_text);
+    ASSERT_TRUE(has_rule(fs, "cross-island-capture"));
+    EXPECT_EQ(line_of(fs, "cross-island-capture"), 2);
+  }
+}
+
+TEST(DetlintTest, DefaultCaptureHeadOfListFlagged) {
+  // [&, x] and [this, x] still default-capture everything else.
+  const std::string src = "void f() {\n"
+                          "  coord->post(a, b, at, [&, frame] { sink(frame); });\n"
+                          "  coord->post(a, b, at, [this, frame] { sink(frame); });\n"
+                          "}\n";
+  const auto fs = lint_content("src/sim/a.hpp", src);
+  EXPECT_TRUE(has_rule(fs, "cross-island-capture"));
+  EXPECT_EQ(line_of(fs, "cross-island-capture"), 2);
+}
+
+TEST(DetlintTest, ExplicitCapturesInCrossIslandPostNotFlagged) {
+  // The sanctioned idiom: every capture named, payload moved or pointing at
+  // destination-owned state (src/net/island_link.hpp does exactly this).
+  const std::string src =
+      "void f() {\n"
+      "  coord_.post(src, dst, at,\n"
+      "              [ep = &eps_[dst], src, frame = std::move(frame)]() mutable {\n"
+      "                ep->fn(src, std::move(frame));\n"
+      "              });\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/net/island_link.hpp", src), "cross-island-capture"));
+}
+
+TEST(DetlintTest, SubscriptInsidePostArgsIsNotALambda) {
+  const std::string src = "void f() {\n"
+                          "  coord_.post(islands_[src], islands_[dst], at, run_of(dst));\n"
+                          "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/net/a.hpp", src), "cross-island-capture"));
+}
+
+TEST(DetlintTest, DefaultCaptureOutsidePostOrOutsideHazardLayersNotFlagged) {
+  // Same-island scheduling may capture freely; so may non-sim/net layers.
+  const std::string same_island = "void f() {\n"
+                                  "  sim_.at(at, [&] { deliver(m); });\n"
+                                  "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/sim/a.hpp", same_island), "cross-island-capture"));
+  const std::string other_layer = "void f() {\n"
+                                  "  coord_.post(src, dst, at, [&] { deliver(m); });\n"
+                                  "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/app/a.hpp", other_layer), "cross-island-capture"));
+}
+
+TEST(DetlintTest, CrossIslandCaptureSuppressible) {
+  const std::string src =
+      "void f() {\n"
+      "  // detlint:allow(cross-island-capture): coordinator outlives every epoch\n"
+      "  coord_.post(src, dst, at, [this] { deliver(); });\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_content("src/net/a.hpp", src), "cross-island-capture"));
+}
+
 // --- JSON output ---------------------------------------------------------------
 
 TEST(DetlintTest, JsonOutputCarriesCountsAndFindings) {

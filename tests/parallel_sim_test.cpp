@@ -1,0 +1,280 @@
+// Island-parallel simulation: conservative-window coordinator semantics and
+// the determinism contract — a parallel archipelago run exports traces and
+// metrics byte-identical to the serial run (doc/PARALLEL.md).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/archipelago.hpp"
+#include "obs/merge.hpp"
+#include "sim/parallel.hpp"
+
+namespace cts {
+namespace {
+
+using sim::IslandCoordinator;
+using sim::IslandId;
+using sim::Simulator;
+
+TEST(IslandCoordinator, RunsAllEventsAndLinesUpClocks) {
+  Simulator a(1), b(2), c(3);
+  IslandCoordinator coord(100);
+  coord.add_island(a);
+  coord.add_island(b);
+  coord.add_island(c);
+
+  int fired = 0;
+  a.at(50, [&] { ++fired; });
+  a.at(5'000, [&] { ++fired; });
+  b.at(75, [&] { ++fired; });
+  c.at(9'999, [&] { ++fired; });
+
+  coord.run_until(10'000);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(a.now(), 10'000);
+  EXPECT_EQ(b.now(), 10'000);
+  EXPECT_EQ(c.now(), 10'000);
+  EXPECT_EQ(coord.now(), 10'000);
+  EXPECT_GE(coord.stats().epochs, 1u);
+  EXPECT_EQ(coord.stats().events_executed, 4u);
+}
+
+TEST(IslandCoordinator, CrossIslandPostDeliversAtRequestedTime) {
+  Simulator a(1), b(2);
+  IslandCoordinator coord(500);
+  const IslandId ia = coord.add_island(a);
+  const IslandId ib = coord.add_island(b);
+
+  Micros delivered_at = -1;
+  a.at(1'000, [&] {
+    coord.post(ia, ib, a.now() + 500, [&] { delivered_at = b.now(); });
+  });
+  coord.run_until(10'000);
+  EXPECT_EQ(delivered_at, 1'500);
+  EXPECT_EQ(coord.stats().posts, 1u);
+}
+
+TEST(IslandCoordinator, MailboxDrainsInCanonicalSourceOrder) {
+  // Two islands post to a third with the SAME delivery time from the same
+  // epoch; execution order at the destination must be (source island, post
+  // order), regardless of worker count.
+  for (unsigned threads : {1u, 2u, 3u}) {
+    Simulator a(1), b(2), c(3);
+    IslandCoordinator coord(1'000);
+    const IslandId ia = coord.add_island(a);
+    const IslandId ib = coord.add_island(b);
+    const IslandId ic = coord.add_island(c);
+    coord.set_threads(threads);
+
+    std::vector<int> order;  // written only by island c's execution
+    b.at(10, [&] {
+      coord.post(ib, ic, 1'010, [&] { order.push_back(20); });
+      coord.post(ib, ic, 1'010, [&] { order.push_back(21); });
+    });
+    a.at(10, [&] {
+      coord.post(ia, ic, 1'010, [&] { order.push_back(10); });
+      coord.post(ia, ic, 1'010, [&] { order.push_back(11); });
+    });
+    coord.run_until(5'000);
+    ASSERT_EQ(order.size(), 4u) << "threads=" << threads;
+    EXPECT_EQ(order, (std::vector<int>{10, 11, 20, 21})) << "threads=" << threads;
+  }
+}
+
+// A chatty 4-island workload: every island runs a periodic local chain and
+// every third tick posts a message to the next island, which logs it and
+// schedules a local follow-up.  Returns the merged (time, island, label)
+// log, which must be identical for every worker count.
+std::vector<std::string> chatty_run(unsigned threads) {
+  constexpr int kIslands = 4;
+  constexpr Micros kFloor = 700;
+  std::vector<Simulator> sims;
+  sims.reserve(kIslands);
+  for (int i = 0; i < kIslands; ++i) sims.emplace_back(static_cast<std::uint64_t>(i + 1));
+  IslandCoordinator coord(kFloor);
+  std::vector<IslandId> ids;
+  for (auto& s : sims) ids.push_back(coord.add_island(s));
+  coord.set_threads(threads);
+
+  // Per-island logs; island i's log is written only by island i's events.
+  std::vector<std::vector<std::pair<Micros, int>>> logs(kIslands);
+
+  struct Driver {
+    IslandCoordinator* coord;
+    std::vector<Simulator>* sims;
+    std::vector<IslandId>* ids;
+    std::vector<std::vector<std::pair<Micros, int>>>* logs;
+
+    void tick(int island, int k) {
+      auto& sim = (*sims)[static_cast<std::size_t>(island)];
+      (*logs)[static_cast<std::size_t>(island)].push_back({sim.now(), k});
+      if (k % 3 == 0) {
+        const int dst = (island + 1) % kIslands;
+        coord->post((*ids)[static_cast<std::size_t>(island)],
+                    (*ids)[static_cast<std::size_t>(dst)], sim.now() + kFloor,
+                    [this, dst, k] {
+                      (*logs)[static_cast<std::size_t>(dst)].push_back(
+                          {(*sims)[static_cast<std::size_t>(dst)].now(), 1000 + k});
+                      (*sims)[static_cast<std::size_t>(dst)].after(
+                          37, [this, dst, k] {
+                            (*logs)[static_cast<std::size_t>(dst)].push_back(
+                                {(*sims)[static_cast<std::size_t>(dst)].now(), 2000 + k});
+                          });
+                    });
+      }
+      if (k < 40) {
+        sim.after(101 + 13 * (island + 1), [this, island, k] { tick(island, k + 1); });
+      }
+    }
+  };
+  Driver d{&coord, &sims, &ids, &logs};
+  for (int i = 0; i < kIslands; ++i) {
+    sims[static_cast<std::size_t>(i)].at(10 + i, [&d, i] { d.tick(i, 1); });
+  }
+  coord.run_until(60'000);
+
+  std::vector<std::string> merged;
+  for (int i = 0; i < kIslands; ++i) {
+    for (const auto& [at, label] : logs[static_cast<std::size_t>(i)]) {
+      merged.push_back(std::to_string(i) + "@" + std::to_string(at) + ":" +
+                       std::to_string(label));
+    }
+  }
+  return merged;
+}
+
+TEST(IslandCoordinator, SerialAndParallelSchedulesIdentical) {
+  const auto serial = chatty_run(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(chatty_run(2), serial);
+  EXPECT_EQ(chatty_run(4), serial);
+}
+
+TEST(IslandCoordinator, ThreadsFromEnv) {
+  ::unsetenv("CTS_SIM_THREADS");
+  EXPECT_EQ(sim::threads_from_env(3), 3u);
+  ::setenv("CTS_SIM_THREADS", "4", 1);
+  EXPECT_EQ(sim::threads_from_env(1), 4u);
+  ::setenv("CTS_SIM_THREADS", "0", 1);
+  EXPECT_EQ(sim::threads_from_env(2), 2u);
+  ::setenv("CTS_SIM_THREADS", "junk", 1);
+  EXPECT_EQ(sim::threads_from_env(2), 2u);
+  ::unsetenv("CTS_SIM_THREADS");
+}
+
+// --- Archipelago: the full-stack determinism contract ---------------------
+
+struct ArchRun {
+  std::string trace;
+  std::string metrics;
+  std::uint64_t deliveries = 0;
+  std::uint64_t egress = 0;
+};
+
+// Build a 3-ring archipelago, drive cross-ring stamped traffic (with an
+// optional loss + crash/restart schedule on ring 1), and export the merged
+// observability documents.
+ArchRun arch_run(std::uint64_t seed, unsigned threads, bool faults) {
+  app::ArchipelagoConfig cfg;
+  cfg.rings = 3;
+  cfg.servers = 3;
+  cfg.seed = seed;
+  cfg.threads = threads;
+  cfg.link_latency_us = 800;
+  if (faults) cfg.net.loss_probability = 0.01;
+  app::Archipelago ar(cfg);
+
+  // Ring 1 echoes every stamped delivery back to ring 0 (replica 0 only,
+  // so the echo is one logical broadcast per message).
+  ar.on_stamped([&ar](std::size_t ring, std::uint32_t replica, Micros, const Bytes& body) {
+    if (ring == 1 && replica == 0 && !body.empty() && body[0] != 0xEE) {
+      ar.stamped_broadcast_at(ar.ring(1).sim().now() + 1'000, 1, 0, Bytes{0xEE});
+    }
+  });
+  ar.start(400'000);
+
+  for (int k = 0; k < 10; ++k) {
+    const Micros at = 500'000 + 150'000 * k;
+    ar.stamped_broadcast_at(at, 0, 1, Bytes{static_cast<std::uint8_t>(k)});
+    ar.stamped_broadcast_at(at + 40'000, 2, 0, Bytes{0x40, static_cast<std::uint8_t>(k)});
+  }
+  if (faults) {
+    ar.ring(1).sim().at(900'000, [&ar] { ar.crash_server(1, 2); });
+    ar.ring(1).sim().at(1'400'000, [&ar] { ar.restart_server(1, 2); });
+  }
+  ar.run_until(3'000'000);
+
+  ArchRun out;
+  out.trace = obs::merged_trace_jsonl(ar.recorders());
+  out.metrics = obs::merged_metrics_json(ar.recorders());
+  for (std::size_t r = 0; r < ar.ring_count(); ++r) {
+    out.deliveries += ar.stamped_deliveries(r);
+  }
+  out.egress = ar.link().total_stats().frames_sent;
+  return out;
+}
+
+TEST(ArchipelagoDeterminism, SerialAndParallelByteIdentical) {
+  // Four seeds; the last two add loss plus a crash/restart schedule.  Each
+  // seed's serial run is the reference; 2- and 4-worker runs must match it
+  // byte for byte, trace and metrics both, with the oracle on and aborting
+  // (Testbed default) in every mode.
+  struct Case {
+    std::uint64_t seed;
+    bool faults;
+  };
+  for (const Case cs : {Case{11, false}, Case{22, false}, Case{33, true}, Case{44, true}}) {
+    const ArchRun ref = arch_run(cs.seed, 1, cs.faults);
+    ASSERT_GT(ref.deliveries, 0u) << "seed " << cs.seed;
+    ASSERT_GT(ref.egress, 0u) << "seed " << cs.seed;
+    for (unsigned threads : {2u, 4u}) {
+      const ArchRun par = arch_run(cs.seed, threads, cs.faults);
+      EXPECT_EQ(par.trace, ref.trace) << "seed " << cs.seed << " threads " << threads;
+      EXPECT_EQ(par.metrics, ref.metrics) << "seed " << cs.seed << " threads " << threads;
+      EXPECT_EQ(par.deliveries, ref.deliveries)
+          << "seed " << cs.seed << " threads " << threads;
+      EXPECT_EQ(par.egress, ref.egress) << "seed " << cs.seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ArchipelagoDeterminism, CrossRingCausalityUnderParallelRun) {
+  // A->B then B->A reply: the reply's timestamp must exceed the original's
+  // (causal floor), observed under a 2-worker parallel run.
+  app::ArchipelagoConfig cfg;
+  cfg.rings = 2;
+  cfg.threads = 2;
+  cfg.seed = 7;
+  app::Archipelago ar(cfg);
+
+  // Written only by the respective ring's worker.
+  std::vector<Micros> seen_at_1;
+  std::vector<Micros> seen_at_0;
+  ar.on_stamped([&](std::size_t ring, std::uint32_t replica, Micros ts, const Bytes& body) {
+    if (ring == 1) {
+      if (replica == 0 && body.size() == 1 && body[0] == 1) {
+        ar.stamped_broadcast_at(ar.ring(1).sim().now() + 500, 1, 0, Bytes{2});
+      }
+      seen_at_1.push_back(ts);
+    } else {
+      seen_at_0.push_back(ts);
+    }
+  });
+  ar.start(400'000);
+  ar.stamped_broadcast_at(500'000, 0, 1, Bytes{1});
+  ar.run_until(2'500'000);
+
+  ASSERT_FALSE(seen_at_1.empty());
+  ASSERT_FALSE(seen_at_0.empty());
+  // Every reply stamp (read from B's group clock after its floor rose past
+  // A's timestamp) is strictly greater than A's original stamp.
+  EXPECT_GT(seen_at_0.front(), seen_at_1.front());
+  EXPECT_GT(ar.stamped_deliveries(0), 0u);
+  EXPECT_GT(ar.stamped_deliveries(1), 0u);
+}
+
+}  // namespace
+}  // namespace cts

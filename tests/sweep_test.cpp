@@ -1,0 +1,82 @@
+// ScenarioSweep: parallel seed/config matrices with a deterministic merge.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "app/testbed.hpp"
+#include "sim/sweep.hpp"
+
+namespace cts {
+namespace {
+
+TEST(ScenarioSweep, ResultsKeepRegistrationOrder) {
+  sim::ScenarioSweep sweep;
+  for (int i = 0; i < 16; ++i) {
+    sweep.add("s" + std::to_string(i), [i] { return std::to_string(i * i); });
+  }
+  for (unsigned threads : {1u, 4u, 16u, 32u}) {
+    const auto results = sweep.run(threads);
+    ASSERT_EQ(results.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(results[static_cast<std::size_t>(i)].index, static_cast<std::size_t>(i));
+      EXPECT_EQ(results[static_cast<std::size_t>(i)].name, "s" + std::to_string(i));
+      EXPECT_EQ(results[static_cast<std::size_t>(i)].output, std::to_string(i * i));
+    }
+  }
+}
+
+TEST(ScenarioSweep, MergedOutputIdenticalAcrossWorkerCounts) {
+  // Real workloads: one small testbed per seed, each fully self-contained.
+  auto build = [] {
+    sim::ScenarioSweep sweep;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+      sweep.add("seed" + std::to_string(seed), [seed] {
+        app::TestbedConfig cfg;
+        cfg.seed = seed;
+        app::Testbed tb(cfg);
+        tb.start();
+        tb.sim().run_for(400'000);
+        return "{\"events\": " + std::to_string(tb.sim().events_executed()) +
+               ", \"tokens\": " +
+               std::to_string(tb.recorder().trace().count(obs::EventKind::kTokenPass)) + "}";
+      });
+    }
+    return sweep;
+  };
+  auto s1 = build();
+  const auto serial = sim::ScenarioSweep::merged_jsonl(s1.run(1));
+  EXPECT_FALSE(serial.empty());
+  auto s2 = build();
+  EXPECT_EQ(sim::ScenarioSweep::merged_jsonl(s2.run(2)), serial);
+  auto s4 = build();
+  EXPECT_EQ(sim::ScenarioSweep::merged_jsonl(s4.run(4)), serial);
+}
+
+TEST(ScenarioSweep, AllScenariosRunExactlyOnce) {
+  std::atomic<int> runs{0};
+  sim::ScenarioSweep sweep;
+  for (int i = 0; i < 25; ++i) {
+    sweep.add("n" + std::to_string(i), [&runs] {
+      runs.fetch_add(1, std::memory_order_relaxed);
+      return std::string("ok");
+    });
+  }
+  const auto results = sweep.run(8);
+  EXPECT_EQ(runs.load(), 25);
+  for (const auto& r : results) EXPECT_EQ(r.output, "ok");
+}
+
+TEST(ScenarioSweep, MergedJsonlQuotesNonJsonOutputs) {
+  sim::ScenarioSweep sweep;
+  sweep.add("json", [] { return std::string("{\"x\": 1}"); });
+  sweep.add("text", [] { return std::string("plain"); });
+  const auto merged = sim::ScenarioSweep::merged_jsonl(sweep.run(1));
+  EXPECT_EQ(merged,
+            "{\"scenario\": \"json\", \"result\": {\"x\": 1}}\n"
+            "{\"scenario\": \"text\", \"result\": \"plain\"}\n");
+}
+
+}  // namespace
+}  // namespace cts

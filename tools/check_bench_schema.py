@@ -15,6 +15,26 @@ reported, not just the first).
 import json
 import sys
 
+# Every benchmark name the trajectory may carry (arguments like
+# 'BM_EventScheduleFire/64' are matched on the part before the first '/').
+# A new benchmark must be registered here when it is introduced, so a typo'd
+# or renamed metric fails the gate instead of silently forking the series.
+KNOWN_BENCHMARKS = frozenset({
+    "BM_EventScheduleFire",
+    "BM_EventScheduleFireCapture40",
+    "BM_EventScheduleBurst64",
+    "BM_EventCancel64",
+    "BM_TimerReschedule",
+    "BM_NetBroadcast1400B",
+    "BM_TokenRingEventsPerSec",
+    "BM_RingBatchThroughput",
+    "BM_StateTransferVerify",
+    "BM_OracleOverhead",
+    # PR 8: island-parallel simulation + scenario-sweep harness.
+    "BM_ArchipelagoEventsPerSec",
+    "BM_ScenarioSweep",
+})
+
 
 def fail(problems, path, msg):
     problems.append(f"{path}: {msg}")
@@ -29,6 +49,11 @@ def check_result(problems, path, label, res, idx):
     if not isinstance(name, str) or not name:
         fail(problems, path, f"{where} has no benchmark name")
         return
+    base = name.split("/", 1)[0]
+    if base not in KNOWN_BENCHMARKS:
+        fail(problems, path,
+             f"{where}: unknown benchmark {base!r}; register new metrics in "
+             f"KNOWN_BENCHMARKS (tools/check_bench_schema.py) when introducing them")
     for key in ("iterations", "real_ns_per_op", "cpu_ns_per_op"):
         v = res.get(key)
         if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:

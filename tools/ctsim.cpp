@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include "app/archipelago.hpp"
 #include "app/kv_store.hpp"
 #include "app/testbed.hpp"
 #include "common/histogram.hpp"
+#include "obs/merge.hpp"
 #include "obs/recorder.hpp"
+#include "sim/parallel.hpp"
 
 using namespace cts;
 using namespace cts::app;
@@ -49,6 +52,13 @@ struct Options {
   std::vector<FaultEvent> faults;
   bool verbose = false;
   std::uint32_t shards = 1;
+  /// Multi-ring topology: rings > 1 runs an Archipelago (one Totem ring per
+  /// island, causally-stamped inter-ring traffic) instead of one Testbed.
+  std::size_t rings = 1;
+  /// Island worker threads (doc/PARALLEL.md).  Defaults to CTS_SIM_THREADS
+  /// or 1; 1 is the exact legacy serial path, and any value produces the
+  /// same schedule byte for byte.
+  unsigned threads = sim::threads_from_env(1);
   bool durable = false;  // stable storage + cold-startable
   bool kv = false;       // run the KV workload instead of the time server
   std::string metrics_json;  // write obs metrics JSON here ("" = off)
@@ -73,6 +83,9 @@ struct Options {
       "  --crash R@T             crash replica R at time T (e.g. 2@100ms, 0@1s)\n"
       "  --recover R@T           recover replica R at time T\n"
       "  --shards N              request-processing shards per replica (default 1)\n"
+      "  --rings N               Totem rings; >1 runs the multi-ring archipelago (default 1)\n"
+      "  --threads N             island worker threads, identical schedule for any N\n"
+      "                          (default CTS_SIM_THREADS or 1)\n"
       "  --durable               stable storage: persist checkpoints to local disk\n"
       "  --kv                    drive the lease KV store instead of the time server\n"
       "  --metrics-json PATH     write per-layer metrics (counters/gauges/histograms) as JSON\n"
@@ -131,6 +144,8 @@ Options parse(int argc, char** argv) {
     else if (a == "--crash") o.faults.push_back(parse_fault(FaultEvent::Kind::kCrash, need(i), argv[0]));
     else if (a == "--recover") o.faults.push_back(parse_fault(FaultEvent::Kind::kRecover, need(i), argv[0]));
     else if (a == "--shards") o.shards = static_cast<std::uint32_t>(std::stoul(need(i)));
+    else if (a == "--rings") o.rings = std::stoul(need(i));
+    else if (a == "--threads") o.threads = static_cast<unsigned>(std::stoul(need(i)));
     else if (a == "--durable") o.durable = true;
     else if (a == "--kv") o.kv = true;
     else if (a == "--metrics-json") o.metrics_json = need(i);
@@ -141,8 +156,10 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
+// `done` is one byte (not vector<bool>) so multi-ring runs can keep one
+// flag per ring without adjacent flags sharing a word across workers.
 sim::Task client_loop(Testbed& tb, const Options& o, std::vector<Micros>& stamps,
-                      Histogram& lat, bool& done) {
+                      Histogram& lat, std::uint8_t& done) {
   Rng rng(o.seed * 17 + 3);
   for (int i = 0; i < o.invocations; ++i) {
     co_await tb.sim().delay(o.think_us);
@@ -164,13 +181,147 @@ sim::Task client_loop(Testbed& tb, const Options& o, std::vector<Micros>& stamps
       stamps.push_back(rd.i64() * 1'000'000 + rd.i64());
     }
   }
-  done = true;
+  done = 1;
+}
+
+// Multi-ring mode: N Totem rings as parallel islands, each with its own
+// client workload, plus a cross-ring stamped ping chain (ring r -> r+1).
+// Any --threads value yields the identical schedule (doc/PARALLEL.md); the
+// merged metrics/trace exports are likewise byte-stable.
+int run_archipelago(const Options& o) {
+  if (o.kv || o.durable || o.shards > 1) {
+    std::fprintf(stderr, "--rings > 1 supports the time-server workload only "
+                         "(no --kv/--durable/--shards)\n");
+    return 2;
+  }
+  ArchipelagoConfig acfg;
+  acfg.rings = o.rings;
+  acfg.servers = o.servers;
+  acfg.style = o.style;
+  acfg.seed = o.seed;
+  acfg.net.loss_probability = o.loss;
+  acfg.threads = o.threads;
+  Archipelago ar(acfg);
+  ar.start();
+
+  // Fault schedule applies to ring 0.
+  for (const auto& f : o.faults) {
+    if (f.replica >= o.servers) {
+      std::fprintf(stderr, "fault references replica %u but there are only %zu\n", f.replica,
+                   o.servers);
+      return 2;
+    }
+    auto& sim0 = ar.ring(0).sim();
+    sim0.at(std::max(sim0.now(), f.at_us), [&ar, f] {
+      if (f.kind == FaultEvent::Kind::kCrash) {
+        ar.crash_server(0, f.replica);
+      } else {
+        ar.restart_server(0, f.replica);
+      }
+    });
+  }
+
+  // Per-ring client workloads (each written/read only by its ring's island;
+  // done flags are one byte per ring, read between runs).
+  std::vector<std::vector<Micros>> stamps(o.rings);
+  std::vector<Histogram> lat;
+  std::vector<std::uint8_t> done(o.rings, 0);
+  lat.reserve(o.rings);
+  for (std::size_t r = 0; r < o.rings; ++r) lat.emplace_back(10, 10'000);
+  for (std::size_t r = 0; r < o.rings; ++r) {
+    client_loop(ar.ring(r), o, stamps[r], lat[r], done[r]);
+  }
+
+  // Cross-ring ping chain: 20 stamped broadcasts per ring over the first
+  // two seconds, ring r -> ring (r+1) % N.
+  const Micros t0 = ar.now();
+  for (std::size_t r = 0; r < o.rings; ++r) {
+    for (int k = 0; k < 20; ++k) {
+      ar.stamped_broadcast_at(t0 + 100'000 * (k + 1) + static_cast<Micros>(r) * 7'000, r,
+                              (r + 1) % o.rings, Bytes{static_cast<std::uint8_t>(k)});
+    }
+  }
+
+  const Micros deadline = 600'000'000'000LL;
+  auto all_done = [&] {
+    for (std::size_t r = 0; r < o.rings; ++r) {
+      if (!done[r]) return false;
+    }
+    return true;
+  };
+  while (!all_done() && ar.now() < deadline) ar.run_until(ar.now() + 1'000'000);
+  ar.run_for(2'000'000);
+
+  // --- Report ----------------------------------------------------------------
+  std::printf("# ctsim  rings=%zu servers=%zu style=%s invocations=%d seed=%llu loss=%.3f "
+              "threads=%u\n\n",
+              o.rings, o.servers,
+              o.style == replication::ReplicationStyle::kActive        ? "active"
+              : o.style == replication::ReplicationStyle::kSemiActive ? "semiactive"
+                                                                       : "passive",
+              o.invocations, (unsigned long long)o.seed, o.loss, o.threads);
+
+  std::size_t violations = 0;
+  bool consistent = true;
+  std::uint64_t xring_delivered = 0;
+  for (std::size_t r = 0; r < o.rings; ++r) {
+    auto& tb = ar.ring(r);
+    std::size_t ring_viol = 0;
+    for (std::size_t i = 1; i < stamps[r].size(); ++i) {
+      ring_viol += (stamps[r][i] <= stamps[r][i - 1]);
+    }
+    violations += ring_viol;
+    bool ring_consistent = true;
+    const TimeServerApp* first = nullptr;
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
+      if (o.style == replication::ReplicationStyle::kPassive && !tb.server(s).is_primary()) {
+        continue;
+      }
+      auto& a = tb.server_app(s);
+      if (!first) first = &a;
+      else ring_consistent &= (a.time_history() == first->time_history());
+    }
+    consistent &= ring_consistent;
+    xring_delivered += ar.stamped_deliveries(r);
+    std::printf("ring %zu: replies=%zu/%d  latency mean=%.1f us p99=%lld  "
+                "monotonicity violations=%zu  consistent=%s  stamped-deliveries=%llu\n",
+                r, stamps[r].size(), o.invocations, lat[r].mean(),
+                (long long)lat[r].percentile(0.99), ring_viol, ring_consistent ? "yes" : "NO",
+                (unsigned long long)ar.stamped_deliveries(r));
+  }
+  const auto link = ar.link().total_stats();
+  const auto& cstats = ar.coordinator().stats();
+  std::printf("\ncross-ring: %llu frames (%llu bytes) over the link;  "
+              "coordinator: %llu epochs, %llu posts, %llu events\n",
+              (unsigned long long)link.frames_sent, (unsigned long long)link.bytes_sent,
+              (unsigned long long)cstats.epochs, (unsigned long long)cstats.posts,
+              (unsigned long long)cstats.events_executed);
+  std::printf("total monotonicity violations: %zu;  all rings consistent: %s\n", violations,
+              consistent ? "yes" : "NO");
+
+  // --- Observability export (deterministically merged across islands) --------
+  auto recs = ar.recorders();
+  if (!o.metrics_json.empty() || !o.trace_jsonl.empty()) {
+    if (!obs::export_merged_files(recs, o.metrics_json, o.trace_jsonl)) {
+      std::fprintf(stderr, "warning: could not write merged obs exports\n");
+    }
+  }
+  obs::export_merged_from_env(recs, "ctsim");
+  if (o.verbose) {
+    for (std::size_t r = 0; r < o.rings; ++r) {
+      std::printf("\n--- ring %zu ---\n%s", r, recs[r]->summary().c_str());
+    }
+  }
+
+  return violations == 0 && consistent && xring_delivered > 0 ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.rings > 1) return run_archipelago(o);
 
   TestbedConfig cfg;
   cfg.servers = o.servers;
@@ -218,7 +369,7 @@ int main(int argc, char** argv) {
 
   std::vector<Micros> stamps;
   Histogram lat(10, 10'000);
-  bool done = false;
+  std::uint8_t done = 0;
   client_loop(tb, o, stamps, lat, done);
   const Micros deadline = 600'000'000'000LL;
   while (!done && tb.sim().now() < deadline) tb.sim().run_until(tb.sim().now() + 1'000'000);

@@ -1,0 +1,190 @@
+// ctsweep — scenario-sweep harness: run a seed/config matrix of independent
+// testbeds across worker threads and emit a deterministically merged report.
+//
+// Every scenario is one fully self-contained Testbed (its own simulator,
+// LAN, ring, clocks, oracle); scenarios share nothing, so the sweep is
+// embarrassingly parallel, and the merged JSONL is ordered by registration
+// index — byte-identical output for any --jobs value.
+//
+// Examples:
+//   ctsweep --seeds 16 --jobs 8
+//   ctsweep --seed-list 3,5,9 --loss 0.02 --crash 1@300ms --recover 1@900ms
+//   ctsweep --seeds 8 --style passive --duration 2s --out sweep.jsonl
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/testbed.hpp"
+#include "obs/recorder.hpp"
+#include "sim/sweep.hpp"
+
+using namespace cts;
+using namespace cts::app;
+
+namespace {
+
+struct FaultEvent {
+  enum class Kind { kCrash, kRecover } kind;
+  std::uint32_t replica;
+  Micros at_us;
+};
+
+struct Options {
+  std::vector<std::uint64_t> seeds;
+  unsigned jobs = std::thread::hardware_concurrency();
+  std::size_t servers = 3;
+  replication::ReplicationStyle style = replication::ReplicationStyle::kActive;
+  double loss = 0.0;
+  Micros duration_us = 1'000'000;
+  std::vector<FaultEvent> faults;
+  std::string out;  // "" = stdout
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --seeds N         run seeds 1..N (default 8)\n"
+      "  --seed-list A,B   run exactly these seeds (overrides --seeds)\n"
+      "  --jobs N          worker threads (default: hardware concurrency)\n"
+      "  --servers N       server replicas per scenario (default 3)\n"
+      "  --style S         active | semiactive | passive (default active)\n"
+      "  --loss P          packet loss probability (default 0)\n"
+      "  --duration T      simulated run length per scenario (default 1s)\n"
+      "  --crash R@T       crash replica R at time T in every scenario\n"
+      "  --recover R@T     recover replica R at time T in every scenario\n"
+      "  --out PATH        write the merged JSONL here (default stdout)\n",
+      argv0);
+  std::exit(2);
+}
+
+Micros parse_time(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  const std::string unit = end ? std::string(end) : "";
+  if (unit == "s") return static_cast<Micros>(v * 1e6);
+  if (unit == "ms") return static_cast<Micros>(v * 1e3);
+  return static_cast<Micros>(v);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  std::size_t nseeds = 8;
+  auto need = [&](int& i) -> std::string {
+    if (++i >= argc) usage(argv[0]);
+    return argv[i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--seeds") nseeds = std::stoul(need(i));
+    else if (a == "--seed-list") {
+      o.seeds.clear();
+      std::string list = need(i);
+      for (std::size_t p = 0; p < list.size();) {
+        const auto comma = list.find(',', p);
+        const auto part = list.substr(p, comma == std::string::npos ? comma : comma - p);
+        o.seeds.push_back(std::stoull(part));
+        if (comma == std::string::npos) break;
+        p = comma + 1;
+      }
+    } else if (a == "--jobs") o.jobs = static_cast<unsigned>(std::stoul(need(i)));
+    else if (a == "--servers") o.servers = std::stoul(need(i));
+    else if (a == "--style") {
+      const auto v = need(i);
+      if (v == "active") o.style = replication::ReplicationStyle::kActive;
+      else if (v == "semiactive") o.style = replication::ReplicationStyle::kSemiActive;
+      else if (v == "passive") o.style = replication::ReplicationStyle::kPassive;
+      else usage(argv[0]);
+    } else if (a == "--loss") o.loss = std::stod(need(i));
+    else if (a == "--duration") o.duration_us = parse_time(need(i));
+    else if (a == "--crash" || a == "--recover") {
+      const auto kind = a == "--crash" ? FaultEvent::Kind::kCrash : FaultEvent::Kind::kRecover;
+      const auto spec = need(i);
+      const auto at = spec.find('@');
+      if (at == std::string::npos) usage(argv[0]);
+      o.faults.push_back(FaultEvent{kind,
+                                    static_cast<std::uint32_t>(std::stoul(spec.substr(0, at))),
+                                    parse_time(spec.substr(at + 1))});
+    } else if (a == "--out") o.out = need(i);
+    else usage(argv[0]);
+  }
+  if (o.seeds.empty()) {
+    for (std::uint64_t s = 1; s <= nseeds; ++s) o.seeds.push_back(s);
+  }
+  if (o.jobs == 0) o.jobs = 1;
+  return o;
+}
+
+/// One scenario: a full testbed run under this seed, summarized as JSON.
+std::string run_scenario(const Options& o, std::uint64_t seed) {
+  TestbedConfig cfg;
+  cfg.servers = o.servers;
+  cfg.style = o.style;
+  cfg.seed = seed;
+  cfg.net.loss_probability = o.loss;
+  if (o.style == replication::ReplicationStyle::kPassive) cfg.checkpoint_every = 5;
+  Testbed tb(cfg);
+  tb.start();
+  const Micros t0 = tb.sim().now();
+  for (const auto& f : o.faults) {
+    tb.sim().at(t0 + f.at_us, [&tb, f] {
+      if (f.kind == FaultEvent::Kind::kCrash) tb.crash_server(f.replica);
+      else tb.restart_server(f.replica);
+    });
+  }
+  tb.sim().run_for(o.duration_us);
+  tb.sync_scope_stats();
+
+  std::uint64_t rounds = 0;
+  bool all_alive = true;
+  for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+    rounds = std::max(rounds, tb.server(s).time_service().stats().rounds_completed);
+    all_alive &= tb.clock_of(tb.server_node(s)).alive();
+  }
+  std::string j = "{\"seed\": " + std::to_string(seed);
+  j += ", \"events\": " + std::to_string(tb.sim().events_executed());
+  j += ", \"ccs_rounds\": " + std::to_string(rounds);
+  j += ", \"token_passes\": " +
+       std::to_string(tb.recorder().trace().count(obs::EventKind::kTokenPass));
+  j += ", \"oracle_violations\": " +
+       std::to_string(tb.recorder().trace().count(obs::EventKind::kOracleViolation));
+  j += ", \"all_alive\": ";
+  j += all_alive ? "true" : "false";
+  j += "}";
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  sim::ScenarioSweep sweep;
+  for (const std::uint64_t seed : o.seeds) {
+    sweep.add("seed" + std::to_string(seed), [&o, seed] { return run_scenario(o, seed); });
+  }
+  const auto results = sweep.run(o.jobs);
+  const std::string merged = sim::ScenarioSweep::merged_jsonl(results);
+
+  if (o.out.empty()) {
+    std::fputs(merged.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(o.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", o.out.c_str());
+      return 2;
+    }
+    std::fputs(merged.c_str(), f);
+    std::fclose(f);
+  }
+
+  // Any oracle violation would have aborted the scenario already (the
+  // testbed oracle aborts on violation); the count is belt and braces.
+  for (const auto& r : results) {
+    if (r.output.find("\"oracle_violations\": 0") == std::string::npos) return 1;
+  }
+  std::fprintf(stderr, "ctsweep: %zu scenarios, %u jobs, ok\n", results.size(), o.jobs);
+  return 0;
+}

@@ -694,6 +694,47 @@ void check_range_for(const std::string& path, const TokenAnalysis& ta,
   }
 }
 
+// --- Cross-island capture rule --------------------------------------------------
+
+/// A lambda handed to a cross-island `post(...)` is drained into the
+/// destination island's event heap and runs on that island's worker thread.
+/// A default capture (`[&]`, `[=]`) or `[this]` silently closes over
+/// source-island state, which the destination worker then reads or writes
+/// concurrently with the source worker.  Cross-island payloads must name
+/// every capture explicitly (moving the data or pointing at a
+/// destination-owned slot), so the reach across the island boundary is
+/// visible at the call site.
+void check_cross_island_captures(const std::string& path, const TokenAnalysis& ta,
+                                 std::vector<Finding>& findings) {
+  const std::vector<Tok>& toks = ta.toks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent || toks[i].text != "post" || toks[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    for (std::size_t j = i + 2; j + 2 < close && j + 2 < toks.size(); ++j) {
+      if (toks[j].text != "[") continue;
+      // A lambda introducer, not a subscript: a subscript's `[` follows a
+      // value (identifier, `]`, or `)`).
+      const Tok& prev = toks[j - 1];
+      if (prev.kind == Tok::kIdent || prev.text == "]" || prev.text == ")") continue;
+      const std::string& c0 = toks[j + 1].text;
+      const std::string& c1 = toks[j + 2].text;
+      const bool default_cap = (c0 == "&" || c0 == "=") && (c1 == "]" || c1 == ",");
+      const bool this_cap = c0 == "this" && (c1 == "]" || c1 == ",");
+      if (!default_cap && !this_cap) continue;
+      const std::string intro = "[" + c0 + (c1 == "," ? ", ..." : "") + "]";
+      findings.push_back(Finding{
+          path, toks[j].line, "cross-island-capture", Severity::kError,
+          "lambda with capture " + intro +
+              " passed to a cross-island post(): the closure runs on the destination "
+              "island's worker thread, so implicit captures reach source-island state "
+              "across threads; name every capture explicitly (move the payload or point "
+              "at destination-owned state)"});
+    }
+  }
+}
+
 // --- Cross-file mutable-global reference pass ----------------------------------
 
 void check_global_refs(const std::string& path, const TokenAnalysis& ta,
@@ -960,6 +1001,9 @@ std::vector<Finding> lint_sources(const std::vector<SourceFile>& files) {
     check_asserts(path, fa.lines, fa.findings);
     fa.tokens = analyze_tokens(path, fa.lines, fa.findings, globals);
     if (in_callback_layer(path)) check_range_for(path, fa.tokens, fa.findings);
+    if (starts_with(path, "src/sim/") || starts_with(path, "src/net/")) {
+      check_cross_island_captures(path, fa.tokens, fa.findings);
+    }
   }
 
   // Pass 2: references to another file's mutable globals from the protocol

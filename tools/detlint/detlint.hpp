@@ -72,6 +72,14 @@
 //                         index or snapshot the container first.  (Member
 //                         detection is the `name_` suffix / `.`/`->` access
 //                         convention, so iterating a local copy is fine.)
+//   cross-island-capture  lambda with a default capture ([&], [=]) or [this]
+//                         passed to a cross-island post() in src/sim or
+//                         src/net: the closure is drained into the
+//                         destination island's heap and runs on that
+//                         island's worker thread, so implicit captures reach
+//                         source-island state across threads.  Name every
+//                         capture explicitly — move the payload, or point at
+//                         destination-owned state.
 //
 // Suppression: a finding is silenced by `detlint:allow(<rule>[,<rule>...])`
 // in a comment on the same line or the line directly above, and the
