@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "app/archipelago.hpp"
+#include "app/kv_store.hpp"
 #include "app/testbed.hpp"
+#include "app/topology.hpp"
 #include "gcs/gcs.hpp"
 #include "net/network.hpp"
 #include "obs/recorder.hpp"
@@ -288,7 +290,7 @@ BENCHMARK(BM_StateTransferVerify);
 void BM_ArchipelagoEventsPerSec(benchmark::State& state) {
   constexpr std::size_t kRings = 4;
   app::ArchipelagoConfig cfg;
-  cfg.rings = kRings;
+  cfg.topo.rings = kRings;
   cfg.seed = 99;
   cfg.threads = sim::threads_from_env(1);
   app::Archipelago ar(cfg);
@@ -340,6 +342,54 @@ void BM_ScenarioSweep(benchmark::State& state) {
   state.counters["jobs"] = static_cast<double>(jobs);
 }
 BENCHMARK(BM_ScenarioSweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- Sharded-topology bench (PR 9) ----------------------------------------------
+
+// Client ops/sec through the gateway router on a sharded KV deployment:
+// 4 rings x 3 replicas, keys drawn so roughly half the requests miss the
+// local ring and take the forward/reply link round-trip.  items = client
+// requests completed (local hits and cross-ring forwards together).
+void BM_ShardedGatewayOpsPerSec(benchmark::State& state) {
+  constexpr std::size_t kRings = 4;
+  app::ArchipelagoConfig cfg;
+  cfg.topo = app::TopologySpec{kRings, 3, true};
+  cfg.seed = 42;
+  cfg.threads = sim::threads_from_env(1);
+  cfg.app = [](const app::ShardMap& map, std::size_t ring) {
+    app::KvStoreApp::Options o;
+    o.shard_map = &map;
+    o.ring = ring;
+    return app::kv_store_factory(o);
+  };
+  app::Archipelago ar(cfg);
+  std::uint64_t replies = 0;
+  std::vector<std::uint8_t> again(kRings, 1);
+  auto loop = [&ar, &replies, &again](std::size_t r) -> sim::Task {
+    std::uint64_t i = 0;
+    while (again[r] != 0) {
+      co_await ar.ring(r).sim().delay(400);
+      const std::string key = "k" + std::to_string((r * 31 + i++) % 64);
+      (void)co_await ar.router(r).call(app::kv_put(key, "v"));
+      ++replies;
+    }
+  };
+  ar.start(400'000);
+  for (std::size_t r = 0; r < kRings; ++r) loop(r);
+  const std::uint64_t before = replies;
+  for (auto _ : state) {
+    ar.run_for(100'000);
+  }
+  for (std::size_t r = 0; r < kRings; ++r) again[r] = 0;
+  ar.run_for(2'000'000);  // drain the in-flight requests before teardown
+  state.SetItemsProcessed(static_cast<std::int64_t>(replies - before));
+  std::uint64_t forwards = 0;
+  for (std::size_t r = 0; r < kRings; ++r) {
+    forwards += ar.ring(r).recorder().counter("gateway.forwards").value;
+  }
+  state.counters["forwards"] = static_cast<double>(forwards);
+  state.counters["workers"] = static_cast<double>(cfg.threads);
+}
+BENCHMARK(BM_ShardedGatewayOpsPerSec)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // --- JSON trajectory writer ----------------------------------------------------
 

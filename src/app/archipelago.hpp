@@ -24,16 +24,16 @@
 //                   to the carried timestamp before the app callback — all
 //                   of ring j's subsequent clock readings exceed it.
 //
-// Group-id scheme: ring r's server group is GroupId{100+r} (globally
-// unique, so no two rings' RMI traffic shares a group id), its client group
-// GroupId{200+r}, and its cross-ring stamped-message group GroupId{300+r}.
-// The cross-ring group is deliberately disjoint from the server group: the
-// ReplicaManagers subscribe to the server group and treat every
-// kUserRequest there as an RMI invocation, so stamped messages addressed to
-// the server group would be "executed" as garbage requests and answered
-// with spurious replies routed back across the link.  The inter-ring dedup
-// stream tag is ThreadId{7000+r} per source ring, so streams from different
-// rings never collide in a receiver's duplicate detection.
+// Naming (groups, stamp streams, connection ids, per-ring seeds) comes from
+// the ShardMap (app/topology.hpp) — the topology layer this rig consumes
+// instead of hand-building per-ring constants.  The cross-ring group is
+// deliberately disjoint from the server group: the ReplicaManagers
+// subscribe to the server group and treat every kUserRequest there as an
+// RMI invocation, so stamped messages addressed to the server group would
+// be "executed" as garbage requests and answered with spurious replies
+// routed back across the link.  Link frames are typed (LinkFrameKind): the
+// stamped cross-group path shares the wire with the gateway router's
+// forwarded requests and replies (app/gateway.hpp).
 #pragma once
 
 #include <cassert>
@@ -43,7 +43,9 @@
 #include <utility>
 #include <vector>
 
+#include "app/gateway.hpp"
 #include "app/testbed.hpp"
+#include "app/topology.hpp"
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "cts/multigroup.hpp"
@@ -53,16 +55,18 @@
 namespace cts::app {
 
 struct ArchipelagoConfig {
-  /// Number of rings (islands).
-  std::size_t rings = 2;
-  /// Server replicas per ring.
-  std::size_t servers = 3;
-  /// Whether each ring's node 0 hosts an RMI client (and the gateway rides
-  /// on a dedicated node; with false, server 0's node doubles as gateway).
-  bool with_client = true;
+  /// Deployment shape: ring count, replicas per ring, client nodes.  When
+  /// with_client is false, server 0's node doubles as the ring's gateway
+  /// (and there is no RMI client, so no gateway router either).
+  TopologySpec topo;
 
   replication::ReplicationStyle style = replication::ReplicationStyle::kActive;
   std::uint64_t seed = 1;
+
+  /// Per-ring application factory (nullptr ring entries fall back to the
+  /// paper's time server).  Receives the deployment's ShardMap so sharded
+  /// apps (KvStoreApp, SessionManagerApp) can wire their handoff streams.
+  std::function<replication::ReplicaFactory(const ShardMap&, std::size_t ring)> app;
 
   /// Per-ring LAN and Totem parameters (applied to every ring).
   net::NetworkConfig net;
@@ -80,7 +84,7 @@ struct ArchipelagoConfig {
 
 class Archipelago {
  public:
-  static constexpr ConnectionId kInterRingConn{500};
+  static constexpr ConnectionId kInterRingConn = ShardMap::kPingConn;
 
   /// Called (on the receiving ring's worker) for every stamped inter-ring
   /// delivery, once per live replica: (ring, replica, timestamp, body).
@@ -89,38 +93,49 @@ class Archipelago {
 
   explicit Archipelago(ArchipelagoConfig cfg)
       : cfg_(std::move(cfg)),
+        map_(cfg_.topo),
         coord_(cfg_.link_latency_us),
         link_(coord_, net::IslandLinkConfig{cfg_.link_latency_us}) {
-    assert(cfg_.rings >= 1);
-    deliveries_.assign(cfg_.rings, 0);
-    xseq_.assign(cfg_.rings * cfg_.rings, 0);
-    crashed_.assign(cfg_.rings, std::vector<bool>(cfg_.servers, false));
-    messengers_.resize(cfg_.rings);
+    const std::size_t rings = map_.rings();
+    const std::size_t servers = map_.servers();
+    deliveries_.assign(rings, 0);
+    xseq_.assign(rings * rings, 0);
+    crashed_.assign(rings, std::vector<bool>(servers, false));
+    messengers_.resize(rings);
+    routers_.resize(rings);
 
-    for (std::size_t r = 0; r < cfg_.rings; ++r) {
+    for (std::size_t r = 0; r < rings; ++r) {
       TestbedConfig tc;
-      tc.servers = cfg_.servers;
-      tc.with_client = cfg_.with_client;
+      tc.servers = servers;
+      tc.with_client = cfg_.topo.with_client;
       tc.style = cfg_.style;
-      tc.seed = cfg_.seed ^ (0x9E3779B97F4A7C15ull * (r + 1));
+      tc.seed = ShardMap::ring_seed(cfg_.seed, r);
       tc.net = cfg_.net;
       tc.totem = cfg_.totem;
       tc.oracle = cfg_.oracle;
-      tc.server_group = group_of(r);
-      tc.client_group = GroupId{static_cast<std::uint32_t>(200 + r)};
+      tc.server_group = map_.server_group(r);
+      tc.client_group = map_.client_group(r);
+      if (cfg_.app) tc.factory = cfg_.app(map_, r);
       rings_.push_back(std::make_unique<Testbed>(std::move(tc)));
       islands_.push_back(coord_.add_island(rings_.back()->sim()));
     }
     coord_.set_threads(cfg_.threads);
 
-    for (std::size_t r = 0; r < cfg_.rings; ++r) {
+    for (std::size_t r = 0; r < rings; ++r) {
       link_.attach(islands_[r], rings_[r]->sim(),
                    [this, r](sim::IslandId src, Bytes frame) {
                      ingress(r, src, std::move(frame));
                    });
       wire_gateway(r);
-      messengers_[r].resize(cfg_.servers);
-      for (std::uint32_t s = 0; s < cfg_.servers; ++s) rebuild_messenger(r, s);
+      if (cfg_.topo.with_client) {
+        routers_[r] = std::make_unique<GatewayRouter>(
+            map_, r, rings_[r]->client(), rings_[r]->scope_of(0), rings_[r]->recorder(),
+            [this, r](std::size_t dst, Bytes frame) {
+              link_.send(islands_[r], islands_[dst], std::move(frame));
+            });
+      }
+      messengers_[r].resize(servers);
+      for (std::uint32_t s = 0; s < servers; ++s) rebuild_messenger(r, s);
     }
   }
 
@@ -152,7 +167,7 @@ class Archipelago {
   /// or from ring `src`'s own execution context (never from another ring's
   /// callback — scheduling onto a foreign island's heap mid-run is a race).
   void stamped_broadcast_at(Micros at, std::size_t src, std::size_t dst, Bytes body) {
-    assert(src < cfg_.rings && dst < cfg_.rings && src != dst);
+    assert(src < map_.rings() && dst < map_.rings() && src != dst);
     rings_[src]->sim().at(at, [this, src, dst, body = std::move(body)]() mutable {
       broadcast_now(src, dst, std::move(body));
     });
@@ -183,19 +198,19 @@ class Archipelago {
   sim::IslandCoordinator& coordinator() { return coord_; }
   net::InterIslandLink& link() { return link_; }
   [[nodiscard]] sim::IslandId island_of(std::size_t r) const { return islands_[r]; }
+  [[nodiscard]] const ShardMap& shard_map() const { return map_; }
+
+  /// Ring r's gateway router (with_client topologies only).
+  GatewayRouter& router(std::size_t r) { return *routers_[r]; }
 
   /// Ring r's (globally unique) server group id.
-  [[nodiscard]] static GroupId group_of(std::size_t r) {
-    return GroupId{static_cast<std::uint32_t>(100 + r)};
-  }
+  [[nodiscard]] GroupId group_of(std::size_t r) const { return map_.server_group(r); }
 
   /// Ring r's cross-ring stamped-message group.  Disjoint from group_of:
   /// the ReplicaManagers subscribe to the server group and would execute a
   /// stamped message delivered there as a garbage RMI request (and route
   /// the spurious reply back across the link).
-  [[nodiscard]] static GroupId xgroup_of(std::size_t r) {
-    return GroupId{static_cast<std::uint32_t>(300 + r)};
-  }
+  [[nodiscard]] GroupId xgroup_of(std::size_t r) const { return map_.cross_group(r); }
 
   /// Stamped inter-ring deliveries observed by ring r's replicas (one count
   /// per replica per message).  Read between runs.
@@ -212,37 +227,56 @@ class Archipelago {
   }
 
  private:
-  /// Dedup-stream tag for messages originated by ring r: one stream per
-  /// source ring, shared by all of that ring's replicas so GCS duplicate
-  /// suppression collapses their copies.
-  [[nodiscard]] static ThreadId tag_of(std::size_t r) {
-    return ThreadId{static_cast<std::uint32_t>(7000 + r)};
-  }
-
   /// Subscribe ring r's gateway endpoint (node 0) to every remote ring's
   /// cross-ring group: a locally delivered message addressed to ring j
   /// leaves over the link exactly once (GCS dedup upstream guarantees
   /// single delivery per endpoint).
   void wire_gateway(std::size_t r) {
-    for (std::size_t j = 0; j < cfg_.rings; ++j) {
+    for (std::size_t j = 0; j < map_.rings(); ++j) {
       if (j == r) continue;
       rings_[r]->gcs_of(0).subscribe(xgroup_of(j), [this, r, j](const gcs::Message& m) {
         ++rings_[r]->recorder().counter("xring.egress");
-        link_.send(islands_[r], islands_[j], gcs::GcsEndpoint::encode(m));
+        link_.send(islands_[r], islands_[j], frame_xgroup(gcs::GcsEndpoint::encode(m)));
       });
     }
   }
 
-  /// Link delivery on ring r's worker: re-originate the frame on ring r's
-  /// Totem ring so all of its replicas receive it in agreed order.
+  /// Link delivery on ring r's worker.  Dispatch on the frame's kind byte:
+  /// stamped cross-group messages are re-originated on ring r's Totem ring
+  /// (agreed order among its replicas); gateway forwards and replies go to
+  /// ring r's router.  Malformed frames are counted and dropped, like any
+  /// malformed packet.
   void ingress(std::size_t r, sim::IslandId /*src*/, Bytes frame) {
     ++rings_[r]->recorder().counter("xring.ingress");
-    rings_[r]->gcs_of(0).send(gcs::GcsEndpoint::decode(frame));
+    try {
+      BytesReader rd(frame);
+      switch (static_cast<LinkFrameKind>(rd.u8())) {
+        case LinkFrameKind::kXGroup: {
+          const std::span<const std::uint8_t> rest{frame.data() + 1, frame.size() - 1};
+          rings_[r]->gcs_of(0).send(gcs::GcsEndpoint::decode(rest));
+          return;
+        }
+        case LinkFrameKind::kFwdRequest: {
+          const std::uint32_t origin = rd.u32();
+          const std::uint64_t id = rd.u64();
+          if (routers_[r]) routers_[r]->on_fwd_request(origin, id, rd.bytes());
+          return;
+        }
+        case LinkFrameKind::kFwdReply: {
+          const std::uint64_t id = rd.u64();
+          if (routers_[r]) routers_[r]->on_fwd_reply(id, rd.bytes());
+          return;
+        }
+      }
+      throw CodecError("unknown link frame kind");
+    } catch (const CodecError&) {
+      ++rings_[r]->recorder().counter("xring.frames_rejected");
+    }
   }
 
   void broadcast_now(std::size_t src, std::size_t dst, Bytes body) {
-    const MsgSeqNum seq = ++xseq_[src * cfg_.rings + dst];
-    for (std::uint32_t s = 0; s < cfg_.servers; ++s) {
+    const MsgSeqNum seq = ++xseq_[src * map_.rings() + dst];
+    for (std::uint32_t s = 0; s < map_.servers(); ++s) {
       if (crashed_[src][s]) continue;
       messengers_[src][s]->stamp_and_send(xgroup_of(dst), kInterRingConn, seq, body);
     }
@@ -252,7 +286,7 @@ class Archipelago {
     Testbed& tb = *rings_[r];
     const auto node = tb.server_node(s);
     messengers_[r][s] = std::make_unique<ccs::CausalMessenger>(
-        tb.gcs_of(node), tb.server(s).time_service(), xgroup_of(r), tag_of(r));
+        tb.gcs_of(node), tb.server(s).time_service(), xgroup_of(r), map_.ping_stream(r));
     messengers_[r][s]->subscribe(
         kInterRingConn, [this, r, s](const gcs::Message&, Micros ts, const Bytes& body) {
           ++deliveries_[r];
@@ -262,10 +296,12 @@ class Archipelago {
   }
 
   ArchipelagoConfig cfg_;
+  ShardMap map_;
   sim::IslandCoordinator coord_;
   net::InterIslandLink link_;
   std::vector<std::unique_ptr<Testbed>> rings_;
   std::vector<sim::IslandId> islands_;
+  std::vector<std::unique_ptr<GatewayRouter>> routers_;
   std::vector<std::vector<std::unique_ptr<ccs::CausalMessenger>>> messengers_;
   std::vector<std::vector<bool>> crashed_;
   std::vector<std::uint64_t> deliveries_;   // per-ring, each written by its ring's worker

@@ -14,6 +14,8 @@ const char* to_string(KvStatus s) {
       return "lease-denied";
     case KvStatus::kBadRequest:
       return "bad-request";
+    case KvStatus::kRetry:
+      return "retry";
   }
   return "?";
 }
@@ -64,6 +66,12 @@ Bytes kv_stats() {
   return std::move(w).take();
 }
 
+Bytes kv_migrate(const std::string& key, std::uint32_t dst_ring) {
+  BytesWriter w = op_header(KvOp::kMigrate, key);
+  w.u32(dst_ring);
+  return std::move(w).take();
+}
+
 KvReply KvReply::parse(const Bytes& b) {
   BytesReader r(b);
   KvReply out;
@@ -110,7 +118,21 @@ KvStoreApp::KvStoreApp(replication::ReplicaContext& ctx, Options opt)
       // shard's processing thread (same derivation at every replica).
       timers_(ctx.time, ccs::GroupTimerService::Config{
                             ThreadId{ctx.processing_thread.value + 1000}, opt.timer_poll_us}),
-      opt_(opt) {}
+      opt_(opt) {
+  // Sharded mode: open the ring's KV handoff stream.  my_group is the
+  // ring's cross-ring ingress group, so outgoing stamps carry this ring's
+  // identity as src_grp and incoming handoffs (addressed to that group,
+  // re-originated by the gateway) are adopted here in agreed order.
+  if (opt_.shard_map != nullptr && ctx.gcs != nullptr) {
+    handoff_ = std::make_unique<ccs::CausalMessenger>(
+        *ctx.gcs, ctx.time, opt_.shard_map->cross_group(opt_.ring),
+        opt_.shard_map->kv_stream(opt_.ring));
+    handoff_->subscribe(ShardMap::kKvHandoffConn,
+                        [this](const gcs::Message& m, Micros ts, const Bytes& body) {
+                          adopt_handoff(m, ts, body);
+                        });
+  }
+}
 
 void KvStoreApp::handle_request(const SharedBytes& request, std::function<void(Bytes)> done) {
   serve(request, std::move(done));
@@ -222,6 +244,55 @@ sim::Task KvStoreApp::serve(SharedBytes request, std::function<void(Bytes)> done
         reply = make_reply(KvStatus::kOk, "", 0, 0, entries_.size(), state_digest());
         break;
       }
+      case KvOp::kMigrate: {
+        const std::uint32_t dst = r.u32();
+        if (!handoff_ || dst >= opt_.shard_map->rings() || dst == opt_.ring) {
+          reply = make_reply(KvStatus::kBadRequest);
+          break;
+        }
+        auto it = entries_.find(key);
+        if (it == entries_.end()) {
+          reply = make_reply(KvStatus::kNotFound);
+          break;
+        }
+        // Phase 1 — ordered release: export the entry and erase it at this
+        // agreed position in the stream, so no replica of this ring serves
+        // the key past the release point.
+        const Entry exported = it->second;
+        BytesWriter rec;
+        rec.str(key);
+        rec.str(exported.value);
+        rec.u64(exported.version);
+        rec.u64(exported.lease_owner);
+        rec.i64(exported.lease_expiry);
+        entries_.erase(it);
+        const MsgSeqNum seq = ++handoff_seq_;
+        // Phase 2 — stamped transfer: one CCS round mints the transfer
+        // stamp (identical at every live replica of this ring; duplicate
+        // suppression collapses the copies, and one survivor suffices if a
+        // representative crashes mid-handoff).  The destination raises its
+        // causal floor to the stamp before adoption, so a reading taken
+        // after adoption on the destination exceeds the stamp minted here.
+        const Micros ts = co_await handoff_->send(
+            opt_.shard_map->cross_group(dst), ShardMap::kKvHandoffConn, seq, std::move(rec).take());
+        if (ts == kNoTime) {
+          // Stamp stream busy (possible only with multiple concurrent
+          // migrations): roll the release back and ask the client to retry.
+          --handoff_seq_;
+          entries_[key] = exported;
+          reply = make_reply(KvStatus::kRetry);
+          break;
+        }
+        ++handoffs_out_;
+        if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+          ++rec_ptr->counter("kv.handoffs_out");
+          rec_ptr->event(obs::EventKind::kHandoffExport, ctx_.gcs->node_id(), ctx_.replica,
+                         opt_.shard_map->kv_stream(opt_.ring).value,
+                         static_cast<std::int64_t>(seq), static_cast<std::int64_t>(dst));
+        }
+        reply = make_reply(KvStatus::kOk, "", exported.version, ts);
+        break;
+      }
       default:
         reply = make_reply(KvStatus::kBadRequest);
     }
@@ -229,6 +300,48 @@ sim::Task KvStoreApp::serve(SharedBytes request, std::function<void(Bytes)> done
     reply = make_reply(KvStatus::kBadRequest);
   }
   done(std::move(reply));
+}
+
+void KvStoreApp::adopt_handoff(const gcs::Message& m, Micros stamp, const Bytes& record) {
+  // Runs at every replica of the destination ring, in agreed order, with
+  // the causal floor already raised to `stamp` by the messenger — so the
+  // next clock reading here exceeds the transfer stamp minted at the
+  // source.  Everything below is a pure function of (record, local state),
+  // identical at every replica.
+  try {
+    BytesReader r(record);
+    const std::string key = r.str();
+    Entry e;
+    e.value = r.str();
+    e.version = r.u64();
+    e.lease_owner = r.u64();
+    e.lease_expiry = r.i64();
+    // A concurrently created local entry loses to the transferred one, but
+    // version never regresses for readers that watched the local copy.
+    if (auto it = entries_.find(key); it != entries_.end() && it->second.version > e.version) {
+      e.version = it->second.version;
+    }
+    // Fresh grant: the source's expiry timers died with its ownership; the
+    // absolute group-time deadline transfers verbatim (the floor guarantees
+    // our clock is causally AFTER the stamp, so the lease can only shorten,
+    // never stretch past its source-side deadline).
+    if (e.lease_owner != 0) {
+      e.lease_grant = ++grant_counter_;
+      arm_expiry(key, e.lease_grant, e.lease_expiry);
+    }
+    entries_[key] = std::move(e);
+    ++handoffs_in_;
+    if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+      ++rec_ptr->counter("kv.handoffs_in");
+      rec_ptr->event(obs::EventKind::kHandoffAdopt, ctx_.gcs->node_id(), ctx_.replica,
+                     m.hdr.tag.value, static_cast<std::int64_t>(m.hdr.seq),
+                     static_cast<std::int64_t>(stamp));
+    }
+  } catch (const CodecError&) {
+    if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+      ++rec_ptr->counter("kv.handoffs_rejected");
+    }
+  }
 }
 
 std::uint64_t KvStoreApp::state_digest() const {
@@ -247,6 +360,7 @@ Bytes KvStoreApp::checkpoint() const {
   BytesWriter w;
   w.u64(grant_counter_);
   w.u64(leases_expired_);
+  w.u64(handoff_seq_);
   w.u32(static_cast<std::uint32_t>(entries_.size()));
   for (const auto& [k, e] : entries_) {
     w.str(k);
@@ -263,6 +377,7 @@ void KvStoreApp::restore(const Bytes& state) {
   BytesReader r(state);
   grant_counter_ = r.u64();
   leases_expired_ = r.u64();
+  handoff_seq_ = r.u64();
   entries_.clear();
   const auto n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -19,13 +19,20 @@
 //                             reply carries the expiry in group time
 //   RELEASE key owner       — drop the lease if held by `owner`
 //   STATS                   — deterministic state digest (for tests)
+//   MIGRATE key dst_ring    — cross-shard lease transfer (sharded mode):
+//                             release the entry here, hand it to the owning
+//                             ring as a causally stamped two-phase handoff
+//                             (doc/SHARDING.md)
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "app/topology.hpp"
 #include "cts/group_timers.hpp"
+#include "cts/multigroup.hpp"
 #include "cts/time_syscalls.hpp"
 #include "gcs/gcs.hpp"
 #include "replication/replica.hpp"
@@ -39,6 +46,7 @@ enum class KvOp : std::uint8_t {
   kAcquire = 4,
   kRelease = 5,
   kStats = 6,
+  kMigrate = 7,
 };
 
 enum class KvStatus : std::uint8_t {
@@ -47,6 +55,7 @@ enum class KvStatus : std::uint8_t {
   kLeaseHeld = 2,   // someone else's unexpired lease blocks the write
   kLeaseDenied = 3, // acquire refused
   kBadRequest = 4,
+  kRetry = 5,       // transient: the handoff stamp stream was busy
 };
 
 [[nodiscard]] const char* to_string(KvStatus s);
@@ -59,6 +68,7 @@ Bytes kv_del(const std::string& key, std::uint64_t owner = 0);
 Bytes kv_acquire(const std::string& key, std::uint64_t owner, Micros ttl_us);
 Bytes kv_release(const std::string& key, std::uint64_t owner);
 Bytes kv_stats();
+Bytes kv_migrate(const std::string& key, std::uint32_t dst_ring);
 
 struct KvReply {
   KvStatus status = KvStatus::kBadRequest;
@@ -78,6 +88,15 @@ class KvStoreApp : public replication::Replica {
   struct Options {
     /// Lease-expiry sweep granularity for the deterministic timers.
     Micros timer_poll_us = 1'000;
+    /// Sharded deployment (nullptr = single-ring; no handoff stream is
+    /// built and the app behaves exactly as before).  When set, the app
+    /// opens a CausalMessenger on the ShardMap's KV handoff stream for
+    /// ring `ring`: MIGRATE exports entries to other rings and adoption
+    /// installs entries stamped by them.  The map must outlive the app.
+    /// Handoff-enabled managers must run with shards = 1 — the handoff
+    /// stamp stream is per ring, not per processing shard.
+    const ShardMap* shard_map = nullptr;
+    std::size_t ring = 0;
   };
 
   KvStoreApp(replication::ReplicaContext& ctx, Options opt);
@@ -90,6 +109,9 @@ class KvStoreApp : public replication::Replica {
   [[nodiscard]] std::uint64_t state_digest() const;
   [[nodiscard]] std::size_t key_count() const { return entries_.size(); }
   [[nodiscard]] std::uint64_t leases_expired() const { return leases_expired_; }
+  [[nodiscard]] std::uint64_t handoffs_out() const { return handoffs_out_; }
+  [[nodiscard]] std::uint64_t handoffs_in() const { return handoffs_in_; }
+  [[nodiscard]] bool has_key(const std::string& key) const { return entries_.count(key) != 0; }
 
  private:
   struct Entry {
@@ -103,6 +125,10 @@ class KvStoreApp : public replication::Replica {
   sim::Task serve(SharedBytes request, std::function<void(Bytes)> done);
   [[nodiscard]] bool lease_blocks(const Entry& e, std::uint64_t owner, Micros now) const;
   void arm_expiry(const std::string& key, std::uint64_t grant, Micros expiry);
+  /// Destination side of a handoff: install the stamped record.  Runs in
+  /// agreed delivery order, AFTER the causal floor was raised to the
+  /// transfer stamp — so any reading taken after adoption exceeds it.
+  void adopt_handoff(const gcs::Message& m, Micros stamp, const Bytes& record);
 
   replication::ReplicaContext& ctx_;
   ccs::TimeSyscalls sys_;
@@ -112,6 +138,12 @@ class KvStoreApp : public replication::Replica {
   std::map<std::string, Entry> entries_;
   std::uint64_t grant_counter_ = 0;
   std::uint64_t leases_expired_ = 0;
+
+  // Cross-shard handoff stream (sharded mode only; see doc/SHARDING.md).
+  std::unique_ptr<ccs::CausalMessenger> handoff_;
+  std::uint64_t handoff_seq_ = 0;  // checkpointed: survives failover
+  std::uint64_t handoffs_out_ = 0;
+  std::uint64_t handoffs_in_ = 0;
 };
 
 replication::ReplicaFactory kv_store_factory(KvStoreApp::Options opt = {});

@@ -30,6 +30,22 @@ Bytes session_count() {
   return std::move(w).take();
 }
 
+Bytes session_migrate(std::uint64_t id, std::uint32_t dst_ring) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(SessionOp::kMigrate));
+  w.u64(id);
+  w.u32(dst_ring);
+  return std::move(w).take();
+}
+
+Bytes session_open_many(std::uint32_t count, Micros ttl_us) {
+  BytesWriter w;
+  w.u8(static_cast<std::uint8_t>(SessionOp::kOpenMany));
+  w.u32(count);
+  w.i64(ttl_us);
+  return std::move(w).take();
+}
+
 SessionReply SessionReply::parse(const Bytes& b) {
   BytesReader r(b);
   SessionReply out;
@@ -61,7 +77,7 @@ std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
 
 // --- SessionManagerApp ---------------------------------------------------------------
 
-SessionManagerApp::SessionManagerApp(replication::ReplicaContext& ctx)
+SessionManagerApp::SessionManagerApp(replication::ReplicaContext& ctx, Options opt)
     : ctx_(ctx),
       sys_(ctx.time, ctx.processing_thread),
       // Derived thread ids keep shards (and other apps on the same
@@ -69,7 +85,20 @@ SessionManagerApp::SessionManagerApp(replication::ReplicaContext& ctx)
       timers_(ctx.time,
               ccs::GroupTimerService::Config{ThreadId{ctx.processing_thread.value + 2000}, 1'000}),
       ids_(ctx.time, ThreadId{ctx.processing_thread.value + 3000},
-           /*ns=*/ctx.group.value * 1000 + ctx.processing_thread.value) {}
+           /*ns=*/ctx.group.value * 1000 + ctx.processing_thread.value),
+      opt_(opt) {
+  // Sharded mode: open the ring's session-migration stream (see
+  // KvStoreApp's constructor for the src_grp/adoption contract).
+  if (opt_.shard_map != nullptr && ctx.gcs != nullptr) {
+    handoff_ = std::make_unique<ccs::CausalMessenger>(
+        *ctx.gcs, ctx.time, opt_.shard_map->cross_group(opt_.ring),
+        opt_.shard_map->session_stream(opt_.ring));
+    handoff_->subscribe(ShardMap::kSessionHandoffConn,
+                        [this](const gcs::Message& m, Micros ts, const Bytes& body) {
+                          adopt_handoff(m, ts, body);
+                        });
+  }
+}
 
 void SessionManagerApp::handle_request(const SharedBytes& request, std::function<void(Bytes)> done) {
   serve(request, std::move(done));
@@ -87,6 +116,30 @@ void SessionManagerApp::arm_reaper(std::uint64_t id, std::uint64_t epoch, Micros
     sessions_.erase(it);
     ++reaped_;
   });
+}
+
+void SessionManagerApp::arm_batch_reaper(std::uint64_t base_id, std::uint64_t epoch,
+                                         Micros deadline) {
+  timers_.schedule_at(deadline, [this, base_id, epoch](Micros now) {
+    auto it = batches_.find(base_id);
+    if (it == batches_.end() || it->second.epoch != epoch) return;
+    if (it->second.last_activity + it->second.ttl > now) return;
+    reaped_ += it->second.count;
+    batched_ -= it->second.count;
+    batches_.erase(it);
+  });
+}
+
+const SessionManagerApp::Batch* SessionManagerApp::batch_of(std::uint64_t id,
+                                                            std::uint64_t* base) const {
+  // Batches hold consecutive id ranges [base, base + count); find the
+  // candidate batch at or below `id` and range-check it.
+  auto it = batches_.upper_bound(id);
+  if (it == batches_.begin()) return nullptr;
+  --it;
+  if (id - it->first >= it->second.count) return nullptr;
+  if (base != nullptr) *base = it->first;
+  return &it->second;
 }
 
 sim::Task SessionManagerApp::serve(SharedBytes request, std::function<void(Bytes)> done) {
@@ -138,15 +191,81 @@ sim::Task SessionManagerApp::serve(SharedBytes request, std::function<void(Bytes
       case SessionOp::kQuery: {
         const std::uint64_t id = r.u64();
         auto it = sessions_.find(id);
-        if (it == sessions_.end()) {
-          reply = make_reply(SessionStatus::kUnknownSession);
-        } else {
+        if (it != sessions_.end()) {
           reply = make_reply(SessionStatus::kOk, id, it->second.last_activity);
+        } else if (const Batch* b = batch_of(id, nullptr)) {
+          reply = make_reply(SessionStatus::kOk, id, b->last_activity);
+        } else {
+          reply = make_reply(SessionStatus::kUnknownSession);
         }
         break;
       }
       case SessionOp::kCount: {
-        reply = make_reply(SessionStatus::kOk, 0, 0, sessions_.size(), state_digest());
+        reply = make_reply(SessionStatus::kOk, 0, 0, live_sessions(), state_digest());
+        break;
+      }
+      case SessionOp::kOpenMany: {
+        const std::uint32_t count = r.u32();
+        const Micros ttl = r.i64();
+        if (count == 0 || ttl <= 0) {
+          reply = make_reply(SessionStatus::kBadRequest);
+          break;
+        }
+        // One id round + one clock round, however large the batch: the
+        // whole point of the bulk path.  Member ids are the consecutive
+        // range [base, base + count) — synthetic, but each one answers
+        // QUERY like an individually opened session.
+        const std::uint64_t base = co_await ids_.make_id();
+        const ccs::TimeVal now = co_await sys_.gettimeofday();
+        Batch b;
+        b.count = count;
+        b.ttl = ttl;
+        b.last_activity = now.total_us();
+        b.epoch = ++epoch_counter_;
+        batches_[base] = b;
+        batched_ += count;
+        arm_batch_reaper(base, b.epoch, b.last_activity + ttl);
+        reply = make_reply(SessionStatus::kOk, base, b.last_activity + ttl, count);
+        break;
+      }
+      case SessionOp::kMigrate: {
+        const std::uint64_t id = r.u64();
+        const std::uint32_t dst = r.u32();
+        if (!handoff_ || dst >= opt_.shard_map->rings() || dst == opt_.ring) {
+          reply = make_reply(SessionStatus::kBadRequest);
+          break;
+        }
+        auto it = sessions_.find(id);
+        if (it == sessions_.end()) {
+          reply = make_reply(SessionStatus::kUnknownSession);
+          break;
+        }
+        // Two-phase handoff, same shape as the KV lease transfer: ordered
+        // release here, causally stamped adoption at the owning ring.
+        const Session exported = it->second;
+        BytesWriter rec;
+        rec.u64(id);
+        rec.i64(exported.ttl);
+        rec.i64(exported.last_activity);
+        sessions_.erase(it);
+        const MsgSeqNum seq = ++handoff_seq_;
+        const Micros ts =
+            co_await handoff_->send(opt_.shard_map->cross_group(dst),
+                                    ShardMap::kSessionHandoffConn, seq, std::move(rec).take());
+        if (ts == kNoTime) {
+          --handoff_seq_;
+          sessions_[id] = exported;
+          reply = make_reply(SessionStatus::kBadRequest);
+          break;
+        }
+        ++handoffs_out_;
+        if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+          ++rec_ptr->counter("session.handoffs_out");
+          rec_ptr->event(obs::EventKind::kHandoffExport, ctx_.gcs->node_id(), ctx_.replica,
+                         opt_.shard_map->session_stream(opt_.ring).value,
+                         static_cast<std::int64_t>(seq), static_cast<std::int64_t>(dst));
+        }
+        reply = make_reply(SessionStatus::kOk, id, ts);
         break;
       }
       default:
@@ -158,12 +277,45 @@ sim::Task SessionManagerApp::serve(SharedBytes request, std::function<void(Bytes
   done(std::move(reply));
 }
 
+void SessionManagerApp::adopt_handoff(const gcs::Message& m, Micros stamp, const Bytes& record) {
+  // Agreed delivery order; causal floor already at `stamp` — the session's
+  // next activity reading here exceeds the migration stamp minted at the
+  // source (the cross-shard ordering property the sweep test asserts).
+  try {
+    BytesReader r(record);
+    const std::uint64_t id = r.u64();
+    Session s;
+    s.ttl = r.i64();
+    s.last_activity = r.i64();
+    s.epoch = ++epoch_counter_;
+    sessions_[id] = s;
+    arm_reaper(id, s.epoch, s.last_activity + s.ttl);
+    ++handoffs_in_;
+    if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+      ++rec_ptr->counter("session.handoffs_in");
+      rec_ptr->event(obs::EventKind::kHandoffAdopt, ctx_.gcs->node_id(), ctx_.replica,
+                     m.hdr.tag.value, static_cast<std::int64_t>(m.hdr.seq),
+                     static_cast<std::int64_t>(stamp));
+    }
+  } catch (const CodecError&) {
+    if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+      ++rec_ptr->counter("session.handoffs_rejected");
+    }
+  }
+}
+
 std::uint64_t SessionManagerApp::state_digest() const {
   std::uint64_t h = 14695981039346656037ULL;
   for (const auto& [id, s] : sessions_) {
     h = mix64(h, id);
     h = mix64(h, static_cast<std::uint64_t>(s.ttl));
     h = mix64(h, static_cast<std::uint64_t>(s.last_activity));
+  }
+  for (const auto& [base, b] : batches_) {
+    h = mix64(h, base);
+    h = mix64(h, b.count);
+    h = mix64(h, static_cast<std::uint64_t>(b.ttl));
+    h = mix64(h, static_cast<std::uint64_t>(b.last_activity));
   }
   h = mix64(h, reaped_);
   return h;
@@ -173,12 +325,21 @@ Bytes SessionManagerApp::checkpoint() const {
   BytesWriter w;
   w.u64(epoch_counter_);
   w.u64(reaped_);
+  w.u64(handoff_seq_);
   w.u32(static_cast<std::uint32_t>(sessions_.size()));
   for (const auto& [id, s] : sessions_) {
     w.u64(id);
     w.i64(s.ttl);
     w.i64(s.last_activity);
     w.u64(s.epoch);
+  }
+  w.u32(static_cast<std::uint32_t>(batches_.size()));
+  for (const auto& [base, b] : batches_) {
+    w.u64(base);
+    w.u32(b.count);
+    w.i64(b.ttl);
+    w.i64(b.last_activity);
+    w.u64(b.epoch);
   }
   return std::move(w).take();
 }
@@ -187,6 +348,7 @@ void SessionManagerApp::restore(const Bytes& state) {
   BytesReader r(state);
   epoch_counter_ = r.u64();
   reaped_ = r.u64();
+  handoff_seq_ = r.u64();
   sessions_.clear();
   const auto n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -198,11 +360,25 @@ void SessionManagerApp::restore(const Bytes& state) {
     sessions_[id] = s;
     arm_reaper(id, s.epoch, s.last_activity + s.ttl);
   }
+  batches_.clear();
+  batched_ = 0;
+  const auto nb = r.u32();
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    const std::uint64_t base = r.u64();
+    Batch b;
+    b.count = r.u32();
+    b.ttl = r.i64();
+    b.last_activity = r.i64();
+    b.epoch = r.u64();
+    batched_ += b.count;
+    batches_[base] = b;
+    arm_batch_reaper(base, b.epoch, b.last_activity + b.ttl);
+  }
 }
 
-replication::ReplicaFactory session_manager_factory() {
-  return [](replication::ReplicaContext& ctx) {
-    return std::make_unique<SessionManagerApp>(ctx);
+replication::ReplicaFactory session_manager_factory(SessionManagerApp::Options opt) {
+  return [opt](replication::ReplicaContext& ctx) {
+    return std::make_unique<SessionManagerApp>(ctx, opt);
   };
 }
 

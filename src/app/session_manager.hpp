@@ -13,13 +13,24 @@
 //   CLOSE id                → explicit termination
 //   QUERY id                → alive? + last-activity stamp
 //   COUNT                   → live-session count + deterministic digest
+//   MIGRATE id dst_ring     → cross-shard session migration (sharded mode):
+//                             a causally stamped two-phase handoff to the
+//                             owning ring (doc/SHARDING.md)
+//   OPEN_MANY count ttl     → synthetic bulk ingest: `count` sessions from
+//                             ONE id round + ONE clock round, stored as a
+//                             compact batch record — how the scalability
+//                             bench loads millions of sessions per ring
+//                             without millions of CCS rounds
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 
+#include "app/topology.hpp"
 #include "cts/group_timers.hpp"
 #include "cts/id_gen.hpp"
+#include "cts/multigroup.hpp"
 #include "cts/time_syscalls.hpp"
 #include "replication/replica.hpp"
 
@@ -31,6 +42,8 @@ enum class SessionOp : std::uint8_t {
   kClose = 3,
   kQuery = 4,
   kCount = 5,
+  kMigrate = 6,
+  kOpenMany = 7,
 };
 
 enum class SessionStatus : std::uint8_t {
@@ -46,6 +59,8 @@ Bytes session_touch(std::uint64_t id);
 Bytes session_close(std::uint64_t id);
 Bytes session_query(std::uint64_t id);
 Bytes session_count();
+Bytes session_migrate(std::uint64_t id, std::uint32_t dst_ring);
+Bytes session_open_many(std::uint32_t count, Micros ttl_us);
 
 struct SessionReply {
   SessionStatus status = SessionStatus::kBadRequest;
@@ -61,15 +76,28 @@ struct SessionReply {
 
 class SessionManagerApp : public replication::Replica {
  public:
-  explicit SessionManagerApp(replication::ReplicaContext& ctx);
+  struct Options {
+    /// Sharded deployment (nullptr = single-ring, no handoff stream; see
+    /// KvStoreApp::Options for the contract — the map must outlive the
+    /// app, and handoff-enabled managers must run with shards = 1).
+    const ShardMap* shard_map = nullptr;
+    std::size_t ring = 0;
+  };
+
+  explicit SessionManagerApp(replication::ReplicaContext& ctx) : SessionManagerApp(ctx, Options{}) {}
+  SessionManagerApp(replication::ReplicaContext& ctx, Options opt);
 
   void handle_request(const SharedBytes& request, std::function<void(Bytes)> done) override;
   [[nodiscard]] Bytes checkpoint() const override;
   void restore(const Bytes& state) override;
 
   [[nodiscard]] std::uint64_t state_digest() const;
-  [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
+  /// Individually tracked sessions plus members of bulk-ingested batches.
+  [[nodiscard]] std::uint64_t live_sessions() const { return sessions_.size() + batched_; }
   [[nodiscard]] std::uint64_t sessions_reaped() const { return reaped_; }
+  [[nodiscard]] std::uint64_t handoffs_out() const { return handoffs_out_; }
+  [[nodiscard]] std::uint64_t handoffs_in() const { return handoffs_in_; }
+  [[nodiscard]] bool has_session(std::uint64_t id) const { return sessions_.count(id) != 0; }
 
  private:
   struct Session {
@@ -77,20 +105,42 @@ class SessionManagerApp : public replication::Replica {
     Micros last_activity = 0;  // group time
     std::uint64_t epoch = 0;   // distinguishes successive reap timers
   };
+  /// A bulk-ingested batch: `count` synthetic sessions with consecutive
+  /// ids [base_id, base_id + count), one record and one reap timer for all
+  /// of them.  O(batches) memory is what makes millions of sessions per
+  /// ring affordable; members answer QUERY but not TOUCH/CLOSE.
+  struct Batch {
+    std::uint32_t count = 0;
+    Micros ttl = 0;
+    Micros last_activity = 0;
+    std::uint64_t epoch = 0;
+  };
 
   sim::Task serve(SharedBytes request, std::function<void(Bytes)> done);
   void arm_reaper(std::uint64_t id, std::uint64_t epoch, Micros deadline);
+  void arm_batch_reaper(std::uint64_t base_id, std::uint64_t epoch, Micros deadline);
+  void adopt_handoff(const gcs::Message& m, Micros stamp, const Bytes& record);
+  [[nodiscard]] const Batch* batch_of(std::uint64_t id, std::uint64_t* base) const;
 
   replication::ReplicaContext& ctx_;
   ccs::TimeSyscalls sys_;
   ccs::GroupTimerService timers_;
   ccs::ConsistentIdGenerator ids_;
+  Options opt_;
 
   std::map<std::uint64_t, Session> sessions_;
+  std::map<std::uint64_t, Batch> batches_;  // by base id
+  std::uint64_t batched_ = 0;               // sum of live batch counts
   std::uint64_t epoch_counter_ = 0;
   std::uint64_t reaped_ = 0;
+
+  // Cross-shard migration stream (sharded mode only; doc/SHARDING.md).
+  std::unique_ptr<ccs::CausalMessenger> handoff_;
+  std::uint64_t handoff_seq_ = 0;  // checkpointed: survives failover
+  std::uint64_t handoffs_out_ = 0;
+  std::uint64_t handoffs_in_ = 0;
 };
 
-replication::ReplicaFactory session_manager_factory();
+replication::ReplicaFactory session_manager_factory(SessionManagerApp::Options opt = {});
 
 }  // namespace cts::app

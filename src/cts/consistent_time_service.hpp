@@ -42,6 +42,7 @@
 
 #include "clock/physical_clock.hpp"
 #include "common/types.hpp"
+#include "common/unique_fn.hpp"
 #include "cts/ccs_message.hpp"
 #include "gcs/gcs.hpp"
 #include "obs/recorder.hpp"
@@ -123,7 +124,10 @@ struct CtsStats {
 /// dropped events).
 class RoundContinuation {
  public:
-  using DoneFn = std::function<void(Micros)>;
+  /// Move-only: round completions are single-owner by construction (each
+  /// fires exactly once), and callers park move-only state — handoff
+  /// payloads, pending-reply completions — inside them.
+  using DoneFn = UniqueFn<void(Micros)>;
 
   RoundContinuation() = default;
   /// Callback form.

@@ -32,6 +32,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "common/unique_fn.hpp"
 #include "sim/simulator.hpp"
 #include "totem/totem.hpp"
 
@@ -118,7 +119,12 @@ struct GcsStats {
 /// One GCS endpoint per simulated host, layered on that host's TotemNode.
 class GcsEndpoint {
  public:
-  using DeliverFn = std::function<void(const Message&)>;
+  /// Delivery callbacks are move-only (UniqueFn): facades above GCS
+  /// (CausalMessenger, the gateway router, handoff adopters) park
+  /// single-owner state — pending completions, coroutine guards — inside
+  /// their subscription closures, and the endpoint only ever moves and
+  /// invokes them.
+  using DeliverFn = UniqueFn<void(const Message&)>;
   using ViewFn = std::function<void(const GroupView&)>;
 
   GcsEndpoint(sim::Simulator& sim, totem::TotemNode& totem);

@@ -33,6 +33,9 @@ OrderingOracle::OrderingOracle(sim::Simulator& sim, MetricsRegistry& metrics, Tr
   c_checks_ = &metrics_.counter("oracle.checks_run");
   c_violations_ = &metrics_.counter("oracle.violations");
   c_clamped_ = &metrics_.counter("oracle.floor_checks_clamped");
+  // Created eagerly so exports always carry the column, zero included —
+  // the scalability bench gates on oracle.cross_shard == 0.
+  c_cross_shard_ = &metrics_.counter("oracle.cross_shard");
   for (std::size_t i = 0; i < kCheckCount; ++i) {
     violation_counters_[i] =
         &metrics_.counter(std::string("oracle.violations.") + check_name(static_cast<Check>(i)));
@@ -117,9 +120,33 @@ void OrderingOracle::on_gcs_deliver(NodeId node, GroupId dst_grp, ConnectionId c
 
 // --- CTS ---------------------------------------------------------------------
 
-void OrderingOracle::on_stamp_observed(GroupId grp, ReplicaId replica, Micros ts) {
+void OrderingOracle::on_stamp_observed(GroupId grp, ReplicaId replica, Micros ts,
+                                       GroupId src_grp) {
   auto& rs = replica_state(grp, replica);
-  if (rs.tracked_floor == kNoTime || ts > rs.tracked_floor) rs.tracked_floor = ts;
+  if (rs.tracked_floor == kNoTime || ts > rs.tracked_floor) {
+    rs.tracked_floor = ts;
+    rs.floor_src_group = src_grp.value;
+  }
+}
+
+void OrderingOracle::note_cross_shard(std::uint32_t src_group, std::uint32_t dst_group) {
+  // Only floors minted by a DIFFERENT group count as cross-shard: a stamp
+  // looped back within one ring is an intra-shard ordering bug, already
+  // covered by the plain causal-floor column.
+  if (src_group == GroupId::kInvalid || src_group == dst_group) return;
+  ++cross_shard_total_;
+  ++*c_cross_shard_;
+  ++cross_pairs_[{src_group, dst_group}];
+}
+
+OrderingOracle::CrossShardEdge OrderingOracle::worst_cross_shard_edge() const {
+  CrossShardEdge worst;
+  for (const auto& [pair, count] : cross_pairs_) {
+    if (count > worst.violations) {
+      worst = CrossShardEdge{pair.first, pair.second, count};
+    }
+  }
+  return worst;
 }
 
 void OrderingOracle::on_ccs_send(GroupId grp, ReplicaId replica, ThreadId thread, MsgSeqNum round,
@@ -131,10 +158,11 @@ void OrderingOracle::on_ccs_send(GroupId grp, ReplicaId replica, ThreadId thread
     std::ostringstream os;
     os << "proposal " << proposed << " for round " << round << " (thread " << thread.value
        << ") at or below causal floor " << rs.tracked_floor;
+    note_cross_shard(rs.floor_src_group, grp.value);
     violate(Check::kCausalFloor, NodeId{}, replica, os.str());
   }
   sends_[{grp.value, thread.value, round, replica.value}] =
-      SendInfo{proposed, rs.tracked_floor};
+      SendInfo{proposed, rs.tracked_floor, rs.floor_src_group};
 }
 
 void OrderingOracle::on_round_complete(GroupId grp, ReplicaId replica, ThreadId thread,
@@ -167,6 +195,7 @@ void OrderingOracle::on_round_complete(GroupId grp, ReplicaId replica, ThreadId 
         std::ostringstream os;
         os << "round (thread " << thread.value << ", seq " << round << ") value " << value
            << " clamped below the winner's causal floor at send " << sit->second.floor_at_send;
+        note_cross_shard(sit->second.floor_src_group, grp.value);
         violate(Check::kCausalFloor, NodeId{}, replica, os.str());
       } else {
         ++*c_clamped_;

@@ -105,7 +105,12 @@ class OrderingOracle {
 
   /// The CausalMessenger observed a stamped inter-group message at
   /// (grp, replica); the receiver's causal floor must now exceed `ts`.
-  void on_stamp_observed(GroupId grp, ReplicaId replica, Micros ts);
+  /// `src_grp` (when valid) is the stamping group: causal-floor violations
+  /// whose floor was raised by another group's stamp are additionally
+  /// counted as CROSS-SHARD violations, aggregated per (src, dst) ring
+  /// pair so the scalability bench can report the worst edge
+  /// gradient-style (oracle.cross_shard).
+  void on_stamp_observed(GroupId grp, ReplicaId replica, Micros ts, GroupId src_grp = GroupId{});
 
   /// Replica (grp, replica) multicast a CCS proposal.
   void on_ccs_send(GroupId grp, ReplicaId replica, ThreadId thread, MsgSeqNum round,
@@ -154,6 +159,17 @@ class OrderingOracle {
   /// The first violations (capped), for test diagnostics.
   [[nodiscard]] const std::vector<Violation>& violation_log() const { return log_; }
 
+  /// Causal-floor violations whose floor was raised by a DIFFERENT group's
+  /// stamp — the cross-shard causality metric ROADMAP item 1 gates on
+  /// (must be zero).  The per-pair view gives the worst (src, dst) edge.
+  [[nodiscard]] std::uint64_t cross_shard_violations() const { return cross_shard_total_; }
+  struct CrossShardEdge {
+    std::uint32_t src_group = GroupId::kInvalid;
+    std::uint32_t dst_group = GroupId::kInvalid;
+    std::uint64_t violations = 0;
+  };
+  [[nodiscard]] CrossShardEdge worst_cross_shard_edge() const;
+
   static const char* check_name(Check c);
 
  private:
@@ -180,6 +196,7 @@ class OrderingOracle {
   struct SendInfo {
     Micros proposed = kNoTime;
     Micros floor_at_send = kNoTime;  // oracle-tracked floor of the sender
+    std::uint32_t floor_src_group = GroupId::kInvalid;  // group whose stamp set it
   };
   struct RoundRecord {
     Micros value = kNoTime;
@@ -192,6 +209,7 @@ class OrderingOracle {
   };
   struct ReplicaState {
     Micros tracked_floor = kNoTime;
+    std::uint32_t floor_src_group = GroupId::kInvalid;  // stamping group of the floor
     std::uint64_t chain_tail_upto = 0;
     bool has_chain = false;
     MsgSeqNum last_epoch = 0;
@@ -200,6 +218,7 @@ class OrderingOracle {
   };
 
   void violate(Check c, NodeId node, ReplicaId replica, std::string detail);
+  void note_cross_shard(std::uint32_t src_group, std::uint32_t dst_group);
   ReplicaState& replica_state(GroupId grp, ReplicaId r) {
     return replicas_[{grp.value, r.value}];
   }
@@ -212,10 +231,14 @@ class OrderingOracle {
   Counter* c_checks_;
   Counter* c_violations_;
   Counter* c_clamped_;
+  Counter* c_cross_shard_;
   Counter* violation_counters_[kCheckCount];
 
   std::uint64_t checks_run_ = 0;
   std::uint64_t violations_total_ = 0;
+  std::uint64_t cross_shard_total_ = 0;
+  // (src group, dst group) -> cross-shard causal-floor violations
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> cross_pairs_;
   std::uint64_t violations_by_check_[kCheckCount] = {};
   std::vector<Violation> log_;
 

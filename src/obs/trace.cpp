@@ -34,6 +34,10 @@ const char* to_string(EventKind k) {
     case EventKind::kRecoveryStart: return "recovery_start";
     case EventKind::kRecoveryComplete: return "recovery_complete";
     case EventKind::kOracleViolation: return "oracle_violation";
+    case EventKind::kStampRejected: return "stamp_rejected";
+    case EventKind::kGatewayForward: return "gateway_forward";
+    case EventKind::kHandoffExport: return "handoff_export";
+    case EventKind::kHandoffAdopt: return "handoff_adopt";
   }
   return "unknown";
 }

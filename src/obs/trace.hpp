@@ -51,6 +51,11 @@ enum class EventKind : std::uint8_t {
   kRecoveryComplete,   // a=requests replayed or queued
   // oracle
   kOracleViolation,    // a=OrderingOracle::Check that fired
+  // multi-group / sharding
+  kStampRejected,      // a=connection id, b=payload bytes (malformed stamp)
+  kGatewayForward,     // a=origin ring, b=owning ring
+  kHandoffExport,      // a=stamp stream tag, b=handoff seq (source release)
+  kHandoffAdopt,       // a=stamp stream tag, b=handoff seq (dest adoption)
 };
 
 [[nodiscard]] const char* to_string(EventKind k);

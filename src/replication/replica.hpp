@@ -35,6 +35,11 @@ struct ReplicaContext {
   /// directly — doing so reintroduces exactly the replica non-determinism
   /// the Consistent Time Service exists to remove.
   clock::PhysicalClock& hw_clock;
+  /// The host's GCS endpoint, or nullptr in minimal harnesses.  Sharded
+  /// applications build their cross-shard CausalMessenger streams on it
+  /// (lease transfer, session migration — doc/SHARDING.md); everything
+  /// they send rides the same agreed order as their request traffic.
+  gcs::GcsEndpoint* gcs = nullptr;
 };
 
 /// A replicated application object.

@@ -54,7 +54,7 @@ ReplicaManager::ReplicaManager(sim::Simulator& sim, gcs::GcsEndpoint& gcs,
   for (std::uint32_t i = 0; i < cfg_.shards; ++i) {
     const ThreadId thread{cfg_.processing_thread.value + i};
     shards_[i].ctx = std::make_unique<ReplicaContext>(
-        ReplicaContext{sim, cts_, cfg_.group, cfg_.replica, thread, clk});
+        ReplicaContext{sim, cts_, cfg_.group, cfg_.replica, thread, clk, &gcs_});
     shards_[i].app = factory(*shards_[i].ctx);
     cts_.register_thread(thread);
   }

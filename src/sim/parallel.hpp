@@ -136,6 +136,12 @@ class IslandCoordinator {
   void run_until(Micros t) {
     running_started_ = true;
     ensure_workers();
+    if (step_window_ != 0) {  // finish the epoch a step() left open
+      for (; step_island_ < islands_.size(); ++step_island_) {
+        stats_.events_executed += islands_[step_island_]->run_events_before(step_window_);
+      }
+      step_window_ = 0;
+    }
     drain_mailboxes();
     for (;;) {
       Micros t0 = kInf;
@@ -154,6 +160,47 @@ class IslandCoordinator {
 
   /// Run for `d` microseconds of virtual time past the current bound.
   void run_for(Micros d) { run_until(sat_add(now_, d)); }
+
+  /// Execute exactly ONE event, following the identical canonical schedule
+  /// run_until() produces: epochs in window order, islands in index order
+  /// within an epoch, each island's events in its own heap order.  Serial
+  /// only (the whole point is a deterministic event-index grid for fault
+  /// sweeps — see tests/handoff_sweep_test.cpp).  Returns false when no
+  /// event remains at or before `t`; islands are then advanced to `t`.
+  /// run_until() may be called afterwards — it first finishes any epoch a
+  /// step() left open, so stepping K events and then running to completion
+  /// executes the same schedule as a plain run with a K-indexed
+  /// intervention.
+  bool step(Micros t) {
+    assert(effective_threads() == 1 && "step() is serial-only");
+    running_started_ = true;
+    for (;;) {
+      if (step_window_ == 0) {  // open the next epoch
+        drain_mailboxes();
+        Micros t0 = kInf;
+        for (Simulator* s : islands_) {
+          if (s->pending() > 0 && s->next_event_time() < t0) t0 = s->next_event_time();
+        }
+        if (t0 == kInf || t0 > t) {
+          for (Simulator* s : islands_) s->advance_to(t);
+          now_ = t;
+          return false;
+        }
+        step_window_ = std::min(sat_add(t0, floor_), sat_add(t, 1));
+        step_island_ = 0;
+        ++stats_.epochs;
+      }
+      for (; step_island_ < islands_.size(); ++step_island_) {
+        Simulator* s = islands_[step_island_];
+        if (s->pending() > 0 && s->next_event_time() < step_window_) {
+          s->step();
+          ++stats_.events_executed;
+          return true;
+        }
+      }
+      step_window_ = 0;  // epoch exhausted; open the next one
+    }
+  }
 
   /// The coordinator's virtual-time cursor: the bound of the last
   /// run_until().  Islands' own now() match it between runs.
@@ -285,6 +332,11 @@ class IslandCoordinator {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   Micros window_ = 0;
+
+  // step() epoch cursor: the open window (0 = none) and the island the next
+  // single-step resumes at.  Serial-only state; see step().
+  Micros step_window_ = 0;
+  std::size_t step_island_ = 0;
   std::uint64_t generation_ = 0;
   unsigned workers_pending_ = 0;
   std::uint64_t worker_fired_ = 0;

@@ -9,6 +9,7 @@
 #include "cts/multigroup.hpp"
 #include "gcs/gcs.hpp"
 #include "net/network.hpp"
+#include "obs/recorder.hpp"
 #include "sim/simulator.hpp"
 #include "totem/totem.hpp"
 
@@ -258,6 +259,67 @@ TEST(MultigroupTest, BackAndForthConversationStaysCausal) {
   rig.sim.run_for(30'000'000);
   ASSERT_EQ(chain.size(), 2u);
   EXPECT_GT(chain[1], chain[0]);  // B's reply is causally after A's send
+}
+
+TEST(MultigroupTest, MalformedStampIsRejectedCountedAndDoesNotRaiseFloor) {
+  // Mirror of the totem malformed-packet suite, one layer up: payloads that
+  // do not decode as a StampedPayload must be dropped on the subscriber's
+  // floor — no callback, no floor raise (a garbage timestamp would wedge
+  // the group clock) — and accounted (multigroup.stamps_rejected counter +
+  // stamp_rejected trace event).
+  TwoGroupRig rig(300'000);
+  obs::Recorder rec(rig.sim);
+  rig.eps[2]->set_recorder(&rec);
+
+  int delivered = 0;
+  rig.messengers[2]->subscribe(kInterConn, [&](const gcs::Message&, Micros, const Bytes&) {
+    ++delivered;
+  });
+  const Micros floor_before = rig.svcs[2]->causal_floor();
+
+  // Three shapes of garbage: empty, a truncated timestamp, and a body
+  // length prefix pointing past the end of the buffer.
+  BytesWriter lying;
+  lying.i64(5);
+  lying.u32(100);  // claims 100 body bytes, provides none
+  const std::vector<Bytes> evil = {Bytes{}, Bytes{1, 2, 3}, std::move(lying).take()};
+  for (std::size_t k = 0; k < evil.size(); ++k) {
+    gcs::Message m;
+    m.hdr.type = gcs::MsgType::kUserRequest;
+    m.hdr.src_grp = kGroupA;
+    m.hdr.dst_grp = kGroupB;
+    m.hdr.conn = kInterConn;
+    m.hdr.tag = kThread;
+    m.hdr.seq = k + 1;
+    m.payload = evil[k];
+    rig.eps[0]->send(std::move(m));
+  }
+  rig.sim.run_for(1'000'000);
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(rig.svcs[2]->causal_floor(), floor_before);
+  EXPECT_EQ(rec.counter("multigroup.stamps_rejected").value, 3u);
+  EXPECT_EQ(rec.trace().count(obs::EventKind::kStampRejected), 3u);
+
+  // The stream is not wedged: a well-formed stamp on the same (conn, tag)
+  // stream still delivers and raises the floor.
+  StampedPayload p;
+  p.timestamp = 900'000'000;
+  p.body = Bytes{7};
+  gcs::Message m;
+  m.hdr.type = gcs::MsgType::kUserRequest;
+  m.hdr.src_grp = kGroupA;
+  m.hdr.dst_grp = kGroupB;
+  m.hdr.conn = kInterConn;
+  m.hdr.tag = kThread;
+  m.hdr.seq = 4;
+  m.payload = p.encode();
+  rig.eps[0]->send(std::move(m));
+  rig.sim.run_for(1'000'000);
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rig.svcs[2]->causal_floor(), 900'000'000);
+  EXPECT_EQ(rec.counter("multigroup.stamps_rejected").value, 3u);
 }
 
 }  // namespace

@@ -179,8 +179,8 @@ struct ArchRun {
 // observability documents.
 ArchRun arch_run(std::uint64_t seed, unsigned threads, bool faults) {
   app::ArchipelagoConfig cfg;
-  cfg.rings = 3;
-  cfg.servers = 3;
+  cfg.topo.rings = 3;
+  cfg.topo.servers = 3;
   cfg.seed = seed;
   cfg.threads = threads;
   cfg.link_latency_us = 800;
@@ -245,7 +245,7 @@ TEST(ArchipelagoDeterminism, CrossRingCausalityUnderParallelRun) {
   // A->B then B->A reply: the reply's timestamp must exceed the original's
   // (causal floor), observed under a 2-worker parallel run.
   app::ArchipelagoConfig cfg;
-  cfg.rings = 2;
+  cfg.topo.rings = 2;
   cfg.threads = 2;
   cfg.seed = 7;
   app::Archipelago ar(cfg);

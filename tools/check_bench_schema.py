@@ -33,6 +33,8 @@ KNOWN_BENCHMARKS = frozenset({
     # PR 8: island-parallel simulation + scenario-sweep harness.
     "BM_ArchipelagoEventsPerSec",
     "BM_ScenarioSweep",
+    # PR 9: sharded topology + gateway routing.
+    "BM_ShardedGatewayOpsPerSec",
 })
 
 

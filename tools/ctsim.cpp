@@ -20,6 +20,7 @@
 #include "app/archipelago.hpp"
 #include "app/kv_store.hpp"
 #include "app/testbed.hpp"
+#include "app/topology.hpp"
 #include "common/histogram.hpp"
 #include "obs/merge.hpp"
 #include "obs/recorder.hpp"
@@ -61,6 +62,9 @@ struct Options {
   unsigned threads = sim::threads_from_env(1);
   bool durable = false;  // stable storage + cold-startable
   bool kv = false;       // run the KV workload instead of the time server
+  /// With rings > 1 and --kv: fraction of each client's requests aimed at
+  /// keys another ring owns, to exercise the gateway router's forwarding.
+  double remote_fraction = 0.5;
   std::string metrics_json;  // write obs metrics JSON here ("" = off)
   std::string trace_jsonl;   // write obs trace JSONL here ("" = off)
 };
@@ -84,6 +88,7 @@ struct Options {
       "  --recover R@T           recover replica R at time T\n"
       "  --shards N              request-processing shards per replica (default 1)\n"
       "  --rings N               Totem rings; >1 runs the multi-ring archipelago (default 1)\n"
+      "  --topology RxS          shorthand for --rings R --servers S (\"4x6\"; bare \"R\" ok)\n"
       "  --threads N             island worker threads, identical schedule for any N\n"
       "                          (default CTS_SIM_THREADS or 1)\n"
       "  --durable               stable storage: persist checkpoints to local disk\n"
@@ -145,6 +150,12 @@ Options parse(int argc, char** argv) {
     else if (a == "--recover") o.faults.push_back(parse_fault(FaultEvent::Kind::kRecover, need(i), argv[0]));
     else if (a == "--shards") o.shards = static_cast<std::uint32_t>(std::stoul(need(i)));
     else if (a == "--rings") o.rings = std::stoul(need(i));
+    else if (a == "--topology") {
+      const auto spec = TopologySpec::parse(need(i));
+      if (!spec) usage(argv[0]);
+      o.rings = spec->rings;
+      o.servers = spec->servers;
+    }
     else if (a == "--threads") o.threads = static_cast<unsigned>(std::stoul(need(i)));
     else if (a == "--durable") o.durable = true;
     else if (a == "--kv") o.kv = true;
@@ -184,23 +195,59 @@ sim::Task client_loop(Testbed& tb, const Options& o, std::vector<Micros>& stamps
   done = 1;
 }
 
+// Sharded KV workload for the multi-ring mode: ring r's client mixes
+// ring-local keys with keys other rings own; every request goes through the
+// gateway router, which serves local keys on this ring and forwards the
+// rest to the owning ring (gateway.forwards / gateway.misroutes).
+sim::Task kv_loop_sharded(Archipelago& ar, std::size_t r, const Options& o, Histogram& lat,
+                          std::uint64_t& replies, std::uint8_t& done) {
+  const ShardMap& map = ar.shard_map();
+  Rng rng(o.seed * 17 + 3 + r * 101);
+  for (int i = 0; i < o.invocations; ++i) {
+    co_await ar.ring(r).sim().delay(o.think_us);
+    // Draw keys until the local/remote choice matches the configured mix.
+    const bool want_remote = map.rings() > 1 && rng.below(1000) < o.remote_fraction * 1000;
+    std::string key;
+    do {
+      key = "k" + std::to_string(rng.below(64));
+    } while ((map.shard_of_key(key) != r) == !want_remote);
+    Bytes req;
+    switch (rng.below(3)) {
+      case 0: req = kv_put(key, "v" + std::to_string(i)); break;
+      case 1: req = kv_get(key); break;
+      default: req = kv_acquire(key, 1 + rng.below(4), 10'000); break;
+    }
+    const Micros t0 = ar.ring(r).sim().now();
+    (void)co_await ar.router(r).call(std::move(req));
+    lat.add(ar.ring(r).sim().now() - t0);
+    ++replies;
+  }
+  done = 1;
+}
+
 // Multi-ring mode: N Totem rings as parallel islands, each with its own
 // client workload, plus a cross-ring stamped ping chain (ring r -> r+1).
 // Any --threads value yields the identical schedule (doc/PARALLEL.md); the
 // merged metrics/trace exports are likewise byte-stable.
 int run_archipelago(const Options& o) {
-  if (o.kv || o.durable || o.shards > 1) {
-    std::fprintf(stderr, "--rings > 1 supports the time-server workload only "
-                         "(no --kv/--durable/--shards)\n");
+  if (o.durable || o.shards > 1) {
+    std::fprintf(stderr, "--rings > 1 does not support --durable/--shards\n");
     return 2;
   }
   ArchipelagoConfig acfg;
-  acfg.rings = o.rings;
-  acfg.servers = o.servers;
+  acfg.topo = TopologySpec{o.rings, o.servers, /*with_client=*/true};
   acfg.style = o.style;
   acfg.seed = o.seed;
   acfg.net.loss_probability = o.loss;
   acfg.threads = o.threads;
+  if (o.kv) {
+    acfg.app = [](const ShardMap& map, std::size_t ring) {
+      KvStoreApp::Options kopt;
+      kopt.shard_map = &map;
+      kopt.ring = ring;
+      return kv_store_factory(kopt);
+    };
+  }
   Archipelago ar(acfg);
   ar.start();
 
@@ -224,12 +271,17 @@ int run_archipelago(const Options& o) {
   // Per-ring client workloads (each written/read only by its ring's island;
   // done flags are one byte per ring, read between runs).
   std::vector<std::vector<Micros>> stamps(o.rings);
+  std::vector<std::uint64_t> kv_replies(o.rings, 0);
   std::vector<Histogram> lat;
   std::vector<std::uint8_t> done(o.rings, 0);
   lat.reserve(o.rings);
   for (std::size_t r = 0; r < o.rings; ++r) lat.emplace_back(10, 10'000);
   for (std::size_t r = 0; r < o.rings; ++r) {
-    client_loop(ar.ring(r), o, stamps[r], lat[r], done[r]);
+    if (o.kv) {
+      kv_loop_sharded(ar, r, o, lat[r], kv_replies[r], done[r]);
+    } else {
+      client_loop(ar.ring(r), o, stamps[r], lat[r], done[r]);
+    }
   }
 
   // Cross-ring ping chain: 20 stamped broadcasts per ring over the first
@@ -264,6 +316,7 @@ int run_archipelago(const Options& o) {
   std::size_t violations = 0;
   bool consistent = true;
   std::uint64_t xring_delivered = 0;
+  std::uint64_t forwards = 0, misroutes = 0, cross_shard = 0;
   for (std::size_t r = 0; r < o.rings; ++r) {
     auto& tb = ar.ring(r);
     std::size_t ring_viol = 0;
@@ -272,21 +325,38 @@ int run_archipelago(const Options& o) {
     }
     violations += ring_viol;
     bool ring_consistent = true;
-    const TimeServerApp* first = nullptr;
-    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
-      if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
-      if (o.style == replication::ReplicationStyle::kPassive && !tb.server(s).is_primary()) {
-        continue;
+    if (o.kv) {
+      const KvStoreApp* first = nullptr;
+      for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+        if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
+        if (o.style == replication::ReplicationStyle::kPassive && !tb.server(s).is_primary()) {
+          continue;
+        }
+        auto& a = static_cast<KvStoreApp&>(tb.server(s).app());
+        if (!first) first = &a;
+        else ring_consistent &= (a.state_digest() == first->state_digest());
       }
-      auto& a = tb.server_app(s);
-      if (!first) first = &a;
-      else ring_consistent &= (a.time_history() == first->time_history());
+    } else {
+      const TimeServerApp* first = nullptr;
+      for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+        if (!tb.clock_of(tb.server_node(s)).alive() || !tb.server(s).recovered()) continue;
+        if (o.style == replication::ReplicationStyle::kPassive && !tb.server(s).is_primary()) {
+          continue;
+        }
+        auto& a = tb.server_app(s);
+        if (!first) first = &a;
+        else ring_consistent &= (a.time_history() == first->time_history());
+      }
     }
     consistent &= ring_consistent;
     xring_delivered += ar.stamped_deliveries(r);
+    forwards += tb.recorder().counter("gateway.forwards").value;
+    misroutes += tb.recorder().counter("gateway.misroutes").value;
+    if (const auto* orc = tb.recorder().oracle()) cross_shard += orc->cross_shard_violations();
+    const std::size_t replies = o.kv ? kv_replies[r] : stamps[r].size();
     std::printf("ring %zu: replies=%zu/%d  latency mean=%.1f us p99=%lld  "
                 "monotonicity violations=%zu  consistent=%s  stamped-deliveries=%llu\n",
-                r, stamps[r].size(), o.invocations, lat[r].mean(),
+                r, replies, o.invocations, lat[r].mean(),
                 (long long)lat[r].percentile(0.99), ring_viol, ring_consistent ? "yes" : "NO",
                 (unsigned long long)ar.stamped_deliveries(r));
   }
@@ -297,6 +367,9 @@ int run_archipelago(const Options& o) {
               (unsigned long long)link.frames_sent, (unsigned long long)link.bytes_sent,
               (unsigned long long)cstats.epochs, (unsigned long long)cstats.posts,
               (unsigned long long)cstats.events_executed);
+  std::printf("gateway: forwards=%llu misroutes=%llu;  oracle.cross_shard=%llu\n",
+              (unsigned long long)forwards, (unsigned long long)misroutes,
+              (unsigned long long)cross_shard);
   std::printf("total monotonicity violations: %zu;  all rings consistent: %s\n", violations,
               consistent ? "yes" : "NO");
 
@@ -314,7 +387,10 @@ int run_archipelago(const Options& o) {
     }
   }
 
-  return violations == 0 && consistent && xring_delivered > 0 ? 0 : 1;
+  const bool gateway_ok = !o.kv || forwards > 0;
+  return violations == 0 && consistent && xring_delivered > 0 && cross_shard == 0 && gateway_ok
+             ? 0
+             : 1;
 }
 
 }  // namespace

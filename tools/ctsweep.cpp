@@ -17,7 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "app/archipelago.hpp"
+#include "app/kv_store.hpp"
 #include "app/testbed.hpp"
+#include "app/topology.hpp"
+#include "obs/oracle.hpp"
 #include "obs/recorder.hpp"
 #include "sim/sweep.hpp"
 
@@ -41,6 +45,10 @@ struct Options {
   Micros duration_us = 1'000'000;
   std::vector<FaultEvent> faults;
   std::string out;  // "" = stdout
+  /// Rings per scenario.  1 = the classic single-testbed sweep; >1 runs a
+  /// serial archipelago per scenario (sharded KV through the gateway
+  /// router) — scenario-level parallelism still comes from --jobs.
+  std::size_t rings = 1;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -50,6 +58,8 @@ struct Options {
       "  --seed-list A,B   run exactly these seeds (overrides --seeds)\n"
       "  --jobs N          worker threads (default: hardware concurrency)\n"
       "  --servers N       server replicas per scenario (default 3)\n"
+      "  --rings N         Totem rings per scenario; >1 runs the sharded\n"
+      "                    KV archipelago through the gateway router (default 1)\n"
       "  --style S         active | semiactive | passive (default active)\n"
       "  --loss P          packet loss probability (default 0)\n"
       "  --duration T      simulated run length per scenario (default 1s)\n"
@@ -91,6 +101,7 @@ Options parse(int argc, char** argv) {
       }
     } else if (a == "--jobs") o.jobs = static_cast<unsigned>(std::stoul(need(i)));
     else if (a == "--servers") o.servers = std::stoul(need(i));
+    else if (a == "--rings") o.rings = std::stoul(need(i));
     else if (a == "--style") {
       const auto v = need(i);
       if (v == "active") o.style = replication::ReplicationStyle::kActive;
@@ -156,6 +167,95 @@ std::string run_scenario(const Options& o, std::uint64_t seed) {
   return j;
 }
 
+/// Per-ring client driver for the multi-ring scenario: a short sharded KV
+/// mix through the gateway router (local and remote keys), so every sweep
+/// scenario exercises forwarding, handoff streams, and the cross-shard
+/// oracle check.
+sim::Task kv_loop(Archipelago& ar, std::size_t r, std::uint64_t seed, std::uint8_t& done) {
+  const ShardMap& map = ar.shard_map();
+  Rng rng(seed * 13 + 7 + r * 101);
+  for (int i = 0; i < 16; ++i) {
+    co_await ar.ring(r).sim().delay(2'000);
+    const std::string key = "k" + std::to_string(rng.below(48));
+    Bytes req;
+    switch (rng.below(3)) {
+      case 0: req = kv_put(key, "v" + std::to_string(i)); break;
+      case 1: req = kv_get(key); break;
+      default: req = kv_acquire(key, 1 + rng.below(4), 10'000); break;
+    }
+    (void)co_await ar.router(r).call(std::move(req));
+  }
+  (void)map;
+  done = 1;
+}
+
+/// One multi-ring scenario: a serial archipelago (sharded KV + stamped ping
+/// chain) under this seed, summarized as JSON.
+std::string run_scenario_rings(const Options& o, std::uint64_t seed) {
+  ArchipelagoConfig cfg;
+  cfg.topo = TopologySpec{o.rings, o.servers, /*with_client=*/true};
+  cfg.seed = seed;
+  cfg.net.loss_probability = o.loss;
+  cfg.threads = 1;  // scenario-level parallelism comes from --jobs
+  cfg.app = [](const ShardMap& map, std::size_t ring) {
+    KvStoreApp::Options kopt;
+    kopt.shard_map = &map;
+    kopt.ring = ring;
+    return kv_store_factory(kopt);
+  };
+  Archipelago ar(cfg);
+  ar.start();
+  const Micros t0 = ar.now();
+  for (const auto& f : o.faults) {
+    auto& sim0 = ar.ring(0).sim();
+    sim0.at(t0 + f.at_us, [&ar, f] {
+      if (f.kind == FaultEvent::Kind::kCrash) ar.crash_server(0, f.replica);
+      else ar.restart_server(0, f.replica);
+    });
+  }
+  std::vector<std::uint8_t> done(o.rings, 0);
+  for (std::size_t r = 0; r < o.rings; ++r) kv_loop(ar, r, seed, done[r]);
+  for (std::size_t r = 0; r < o.rings; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      ar.stamped_broadcast_at(t0 + 80'000 * (k + 1) + static_cast<Micros>(r) * 5'000, r,
+                              (r + 1) % o.rings, Bytes{static_cast<std::uint8_t>(k)});
+    }
+  }
+  auto all_done = [&] {
+    for (std::size_t r = 0; r < o.rings; ++r) {
+      if (!done[r]) return false;
+    }
+    return true;
+  };
+  while (!all_done() && ar.now() < t0 + o.duration_us) ar.run_until(ar.now() + 200'000);
+  ar.run_for(1'000'000);
+
+  std::uint64_t events = 0, delivered = 0, forwards = 0, cross_shard = 0, oracle_viol = 0;
+  bool all_alive = true;
+  for (std::size_t r = 0; r < o.rings; ++r) {
+    auto& tb = ar.ring(r);
+    events += tb.sim().events_executed();
+    delivered += ar.stamped_deliveries(r);
+    forwards += tb.recorder().counter("gateway.forwards").value;
+    oracle_viol += tb.recorder().trace().count(obs::EventKind::kOracleViolation);
+    if (const auto* orc = tb.recorder().oracle()) cross_shard += orc->cross_shard_violations();
+    for (std::uint32_t s = 0; s < tb.server_count(); ++s) {
+      all_alive &= tb.clock_of(tb.server_node(s)).alive();
+    }
+  }
+  std::string j = "{\"seed\": " + std::to_string(seed);
+  j += ", \"rings\": " + std::to_string(o.rings);
+  j += ", \"events\": " + std::to_string(events);
+  j += ", \"stamped_deliveries\": " + std::to_string(delivered);
+  j += ", \"gateway_forwards\": " + std::to_string(forwards);
+  j += ", \"cross_shard\": " + std::to_string(cross_shard);
+  j += ", \"oracle_violations\": " + std::to_string(oracle_viol);
+  j += ", \"all_alive\": ";
+  j += all_alive ? "true" : "false";
+  j += "}";
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -163,7 +263,9 @@ int main(int argc, char** argv) {
 
   sim::ScenarioSweep sweep;
   for (const std::uint64_t seed : o.seeds) {
-    sweep.add("seed" + std::to_string(seed), [&o, seed] { return run_scenario(o, seed); });
+    sweep.add("seed" + std::to_string(seed), [&o, seed] {
+      return o.rings > 1 ? run_scenario_rings(o, seed) : run_scenario(o, seed);
+    });
   }
   const auto results = sweep.run(o.jobs);
   const std::string merged = sim::ScenarioSweep::merged_jsonl(results);
@@ -182,8 +284,15 @@ int main(int argc, char** argv) {
 
   // Any oracle violation would have aborted the scenario already (the
   // testbed oracle aborts on violation); the count is belt and braces.
+  // Multi-ring scenarios additionally gate on zero cross-shard causality
+  // violations and at least one gateway forward (the router must have
+  // actually routed something).
   for (const auto& r : results) {
     if (r.output.find("\"oracle_violations\": 0") == std::string::npos) return 1;
+    if (o.rings > 1) {
+      if (r.output.find("\"cross_shard\": 0") == std::string::npos) return 1;
+      if (r.output.find("\"gateway_forwards\": 0,") != std::string::npos) return 1;
+    }
   }
   std::fprintf(stderr, "ctsweep: %zu scenarios, %u jobs, ok\n", results.size(), o.jobs);
   return 0;
