@@ -118,6 +118,13 @@ class Archipelago {
       if (cfg_.app) tc.factory = cfg_.app(map_, r);
       rings_.push_back(std::make_unique<Testbed>(std::move(tc)));
       islands_.push_back(coord_.add_island(rings_.back()->sim()));
+      // Resolve the ring's xring.* counter handles once: each ring's
+      // Recorder outlives every restart, and the link ingress/egress paths
+      // run per frame.
+      obs::Recorder& rr = rings_.back()->recorder();
+      xring_.push_back({&rr.counter("xring.egress"), &rr.counter("xring.ingress"),
+                        &rr.counter("xring.frames_rejected"),
+                        &rr.counter("xring.stamped_delivered")});
     }
     coord_.set_threads(cfg_.threads);
 
@@ -235,7 +242,7 @@ class Archipelago {
     for (std::size_t j = 0; j < map_.rings(); ++j) {
       if (j == r) continue;
       rings_[r]->gcs_of(0).subscribe(xgroup_of(j), [this, r, j](const gcs::Message& m) {
-        ++rings_[r]->recorder().counter("xring.egress");
+        ++*xring_[r].egress;
         link_.send(islands_[r], islands_[j], frame_xgroup(gcs::GcsEndpoint::encode(m)));
       });
     }
@@ -247,7 +254,7 @@ class Archipelago {
   /// ring r's router.  Malformed frames are counted and dropped, like any
   /// malformed packet.
   void ingress(std::size_t r, sim::IslandId /*src*/, Bytes frame) {
-    ++rings_[r]->recorder().counter("xring.ingress");
+    ++*xring_[r].ingress;
     try {
       BytesReader rd(frame);
       switch (static_cast<LinkFrameKind>(rd.u8())) {
@@ -270,7 +277,7 @@ class Archipelago {
       }
       throw CodecError("unknown link frame kind");
     } catch (const CodecError&) {
-      ++rings_[r]->recorder().counter("xring.frames_rejected");
+      ++*xring_[r].frames_rejected;
     }
   }
 
@@ -290,7 +297,7 @@ class Archipelago {
     messengers_[r][s]->subscribe(
         kInterRingConn, [this, r, s](const gcs::Message&, Micros ts, const Bytes& body) {
           ++deliveries_[r];
-          ++rings_[r]->recorder().counter("xring.stamped_delivered");
+          ++*xring_[r].stamped_delivered;
           if (handler_) handler_(r, s, ts, body);
         });
   }
@@ -299,7 +306,17 @@ class Archipelago {
   ShardMap map_;
   sim::IslandCoordinator coord_;
   net::InterIslandLink link_;
+  /// Per-ring xring.* counter handles, resolved once at construction
+  /// (stable for the ring Recorder's lifetime — see MetricsRegistry).
+  struct XRingCounters {
+    obs::Counter* egress;
+    obs::Counter* ingress;
+    obs::Counter* frames_rejected;
+    obs::Counter* stamped_delivered;
+  };
+
   std::vector<std::unique_ptr<Testbed>> rings_;
+  std::vector<XRingCounters> xring_;
   std::vector<sim::IslandId> islands_;
   std::vector<std::unique_ptr<GatewayRouter>> routers_;
   std::vector<std::vector<std::unique_ptr<ccs::CausalMessenger>>> messengers_;

@@ -88,7 +88,10 @@ class GatewayRouter {
         client_(&client),
         scope_(&scope),
         rec_(rec),
-        send_(std::move(send)) {}
+        send_(std::move(send)),
+        c_misroutes_(&rec.counter("gateway.misroutes")),
+        c_forwards_(&rec.counter("gateway.forwards")),
+        c_fwd_served_(&rec.counter("gateway.fwd_served")) {}
 
   /// After the gateway node's process is rebuilt (restart), point the
   /// router at the fresh client.  Outstanding forwards stay pending.
@@ -105,8 +108,8 @@ class GatewayRouter {
       client_->invoke(std::move(request), std::move(done));
       return;
     }
-    ++rec_.counter("gateway.misroutes");
-    ++rec_.counter("gateway.forwards");
+    ++*c_misroutes_;
+    ++*c_forwards_;
     const std::uint64_t id = ++next_fwd_id_;
     rec_.event(obs::EventKind::kGatewayForward, NodeId{0}, ReplicaId{},
                static_cast<std::int64_t>(ring_), static_cast<std::int64_t>(*owner),
@@ -133,12 +136,14 @@ class GatewayRouter {
     }
     [[nodiscard]] Bytes await_resume() { return std::move(reply); }
   };
-  [[nodiscard]] CallAwaiter call(Bytes request) { return CallAwaiter{*this, std::move(request)}; }
+  [[nodiscard]] CallAwaiter call(Bytes request) {
+    return CallAwaiter{*this, std::move(request), {}};
+  }
 
   /// Link ingress: a misdirected request forwarded from ring `origin`.
   /// Invoke it on this ring's replicated server and route the reply back.
   void on_fwd_request(std::uint32_t origin_ring, std::uint64_t fwd_id, Bytes request) {
-    ++rec_.counter("gateway.fwd_served");
+    ++*c_fwd_served_;
     client_->invoke(std::move(request),
                     [this, origin_ring, fwd_id](const Bytes& reply) {
                       send_(origin_ring, frame_fwd_reply(fwd_id, reply));
@@ -166,6 +171,11 @@ class GatewayRouter {
   SendFrameFn send_;
   std::map<std::uint64_t, ReplyFn> pending_;
   std::uint64_t next_fwd_id_ = 0;
+  // Counter handles resolved once at construction; route()/on_fwd_request()
+  // run per client request and must not pay a by-name map lookup.
+  obs::Counter* c_misroutes_;
+  obs::Counter* c_forwards_;
+  obs::Counter* c_fwd_served_;
 };
 
 }  // namespace cts::app

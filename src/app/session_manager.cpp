@@ -260,6 +260,8 @@ sim::Task SessionManagerApp::serve(SharedBytes request, std::function<void(Bytes
         }
         ++handoffs_out_;
         if (auto* rec_ptr = ctx_.gcs != nullptr ? ctx_.gcs->recorder() : nullptr) {
+          // Handoffs are per-migration events (a handful per run), so the
+          // by-name counter lookup here is deliberate — no handle cache.
           ++rec_ptr->counter("session.handoffs_out");
           rec_ptr->event(obs::EventKind::kHandoffExport, ctx_.gcs->node_id(), ctx_.replica,
                          opt_.shard_map->session_stream(opt_.ring).value,

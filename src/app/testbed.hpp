@@ -227,8 +227,14 @@ class Testbed {
       timers += t->scope().timers_cancelled_on_shutdown();
       frames += t->scope().frames_destroyed_on_shutdown();
     }
-    recorder_.counter("sim.timers_cancelled_on_shutdown").value = timers;
-    recorder_.counter("node.frames_destroyed_on_shutdown").value = frames;
+    // Counter handles resolved on first sync (stable for recorder_'s
+    // lifetime) — repeated crash/export cycles skip the by-name lookup.
+    if (c_scope_timers_ == nullptr) {
+      c_scope_timers_ = &recorder_.counter("sim.timers_cancelled_on_shutdown");
+      c_scope_frames_ = &recorder_.counter("node.frames_destroyed_on_shutdown");
+    }
+    c_scope_timers_->value = timers;
+    c_scope_frames_->value = frames;
   }
 
   /// Restart server replica s's host and rejoin via state transfer.  The
@@ -294,6 +300,8 @@ class Testbed {
   sim::Simulator sim_;
   net::Network net_;
   obs::Recorder recorder_{sim_};
+  obs::Counter* c_scope_timers_ = nullptr;   // cached by sync_scope_stats()
+  obs::Counter* c_scope_frames_ = nullptr;
   std::vector<std::unique_ptr<totem::TotemNode>> totems_;
   std::vector<std::unique_ptr<gcs::GcsEndpoint>> eps_;
   std::vector<std::unique_ptr<clock::PhysicalClock>> clocks_;

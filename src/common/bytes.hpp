@@ -113,6 +113,14 @@ inline std::uint32_t load_u32le(const std::uint8_t* p) {
 
 inline void store_u32le(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
 
+/// 8-byte flavor for word-at-a-time scans (the oracle's payload
+/// fingerprint).  `p` must point at 8 readable bytes.
+inline std::uint64_t load_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
 /// FNV-1a over a byte range, starting at offset `from`.  The 32-bit flavor
 /// seals packet envelopes (Totem's magic+checksum header); the 64-bit
 /// flavor links checkpoint-chain headers (see src/replication).  `seed`

@@ -140,8 +140,17 @@ void GcsEndpoint::bump_view(GroupId g) {
     rec_->event(obs::EventKind::kGcsViewChange, totem_.id(), ReplicaId{},
                 static_cast<std::int64_t>(g.value), static_cast<std::int64_t>(v.members.size()));
   }
-  auto& subs = view_subscribers_[g];
-  for (std::size_t i = 0; i < subs.size(); ++i) subs[i](v);
+  // Callbacks get a snapshot of the view, and the subscriber list is
+  // re-found on every iteration: a callback may touch views_ (dangling the
+  // `v` reference above) or register new view subscribers (growing /
+  // reallocating the vector and the map) — FlatMap references do not
+  // survive either.
+  const GroupView snapshot = v;
+  for (std::size_t i = 0;; ++i) {
+    auto it = view_subscribers_.find(g);
+    if (it == view_subscribers_.end() || i >= it->second.size()) break;
+    it->second[i](snapshot);
+  }
 }
 
 void GcsEndpoint::apply_group_join(const Message& m) {
@@ -165,8 +174,18 @@ void GcsEndpoint::on_totem_view(const totem::View& v) {
   if (orc_) orc_->on_view_installed(totem_.id(), v.ring_id, v.members);
   // Drop group members hosted on nodes that left the ring.  Every endpoint
   // applies the same rule to the same Totem view, so group views stay
-  // consistent without extra messages.
-  for (auto& [g, gv] : views_) {
+  // consistent without extra messages.  Iterate over a snapshot of the
+  // group ids: bump_view runs callbacks that may insert into views_, which
+  // invalidates FlatMap iterators.  (A group inserted mid-loop has no
+  // members yet, so skipping it is the same no-op the ordered-map walk
+  // produced.)
+  std::vector<GroupId> groups;
+  groups.reserve(views_.size());
+  for (const auto& [g, gv] : views_) groups.push_back(g);
+  for (GroupId g : groups) {
+    auto it = views_.find(g);
+    if (it == views_.end()) continue;
+    auto& gv = it->second;
     const auto before = gv.members.size();
     std::erase_if(gv.members, [&](const GroupMember& m) {
       return std::find(v.members.begin(), v.members.end(), m.node) == v.members.end();
@@ -221,8 +240,9 @@ std::uint64_t GcsEndpoint::send(Message m) {
   }
 
   if (!is_control(m.hdr.type)) {
-    pending_[{m.hdr.conn.value, static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag.value,
-              m.hdr.seq}] = PendingSend{h, std::move(totem_handles), m.hdr.type};
+    pending_[MsgIdKey{
+        stream_key(m.hdr.conn.value, static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag.value),
+        m.hdr.seq}] = PendingSend{h, std::move(totem_handles), m.hdr.type};
   }
   return h;
 }
@@ -278,8 +298,9 @@ void GcsEndpoint::on_fragment(const Message& frag) {
     return;
   }
 
-  const auto key = std::make_tuple(frag.hdr.sender_node.value, frag.hdr.conn.value,
-                                   original_type, frag.hdr.tag.value, frag.hdr.seq);
+  const ReasmKey key{
+      (static_cast<std::uint64_t>(frag.hdr.sender_node.value) << 32) | frag.hdr.conn.value,
+      (static_cast<std::uint64_t>(original_type) << 32) | frag.hdr.tag.value, frag.hdr.seq};
   Reassembly& re = reassembly_[key];
   if (idx == 0) {
     re = Reassembly{};
@@ -319,9 +340,9 @@ void GcsEndpoint::process_message(Message m) {
 
   // Sender-side suppression: a copy of this logical message has now been
   // ordered, so a still-queued local copy must never reach the wire.
-  const auto pending_key = std::make_tuple(m.hdr.conn.value,
-                                           static_cast<std::uint8_t>(m.hdr.type),
-                                           m.hdr.tag.value, m.hdr.seq);
+  const StreamKey sk =
+      stream_key(m.hdr.conn.value, static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag.value);
+  const MsgIdKey pending_key{sk, m.hdr.seq};
   if (auto it = pending_.find(pending_key); it != pending_.end()) {
     if (m.hdr.sender_node != totem_.id()) {
       // Someone else's copy won the race; cancel ours if still queued.
@@ -341,8 +362,7 @@ void GcsEndpoint::process_message(Message m) {
   }
 
   // Receiver-side duplicate detection.
-  const DedupKey dk{m.hdr.conn.value, static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag.value};
-  auto [it, fresh] = last_delivered_.try_emplace(dk, 0);
+  auto [it, fresh] = last_delivered_.try_emplace(sk, 0);
   if (!fresh && m.hdr.seq <= it->second) {
     ++stats_.duplicates_dropped[type_idx];
     if (c_duplicates_) ++*c_duplicates_;
@@ -363,14 +383,15 @@ void GcsEndpoint::process_message(Message m) {
                          static_cast<std::uint8_t>(m.hdr.type), m.hdr.tag, m.hdr.seq,
                          m.hdr.sender_node, m.payload.span());
   }
-  auto sub = subscribers_.find(m.hdr.dst_grp);
-  if (sub != subscribers_.end()) {
-    // Index loop: a callback may subscribe (CTS construction during
-    // recovery paths), growing the vector mid-delivery; range-for iterators
-    // would dangle across the reallocation.  New subscribers do not see the
-    // message that triggered their registration.
-    auto& subs = sub->second;
-    for (std::size_t i = 0; i < subs.size(); ++i) subs[i](m);
+  // Index loop with a re-find per iteration: a callback may subscribe (CTS
+  // construction during recovery paths), growing the vector — or a whole
+  // new group's entry — mid-delivery; both the vector reference and the
+  // FlatMap entry can move across the reallocation.  New subscribers do
+  // not see the message that triggered their registration.
+  for (std::size_t i = 0;; ++i) {
+    auto sub = subscribers_.find(m.hdr.dst_grp);
+    if (sub == subscribers_.end() || i >= sub->second.size()) break;
+    sub->second[i](m);
   }
 }
 

@@ -26,11 +26,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "common/unique_fn.hpp"
 #include "sim/simulator.hpp"
@@ -196,11 +196,35 @@ class GcsEndpoint {
   static Message decode_view(const SharedBytes& packet);
 
  private:
-  struct DedupKey {
-    std::uint32_t conn;
-    std::uint8_t type;
-    std::uint32_t tag;
-    friend auto operator<=>(const DedupKey&, const DedupKey&) = default;
+  // Packed stream identity (conn, type, tag): two u64 halves whose
+  // field-wise comparison reproduces the tuple's lexicographic order —
+  // conn and type occupy disjoint bit ranges of `hi`, so numeric order on
+  // `hi` IS (conn, type) order.  Two word compares instead of three field
+  // compares on the per-delivery dedup path.
+  struct StreamKey {
+    std::uint64_t hi;  // (conn << 8) | type
+    std::uint64_t lo;  // tag
+    friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+  };
+  static constexpr StreamKey stream_key(std::uint32_t conn, std::uint8_t type,
+                                        std::uint32_t tag) {
+    return StreamKey{(static_cast<std::uint64_t>(conn) << 8) | type, tag};
+  }
+
+  // Full logical message identity (conn, type, tag, seq).
+  struct MsgIdKey {
+    StreamKey stream;
+    MsgSeqNum seq;
+    friend auto operator<=>(const MsgIdKey&, const MsgIdKey&) = default;
+  };
+
+  // Reassembly identity (sender node, conn, type, tag, seq) packed the same
+  // way: lexicographic (a, b, seq) == (node, conn, type, tag, seq).
+  struct ReasmKey {
+    std::uint64_t a;  // (node << 32) | conn
+    std::uint64_t b;  // (type << 32) | tag
+    MsgSeqNum seq;
+    friend auto operator<=>(const ReasmKey&, const ReasmKey&) = default;
   };
 
   void on_totem_deliver(NodeId sender, const SharedBytes& data);
@@ -214,13 +238,17 @@ class GcsEndpoint {
   sim::Simulator& sim_;
   totem::TotemNode& totem_;
 
-  std::map<GroupId, GroupView> views_;
-  std::map<GroupId, std::vector<DeliverFn>> subscribers_;
-  std::map<GroupId, std::vector<ViewFn>> view_subscribers_;
+  // Flat sorted-vector maps (common/flat_map.hpp): same iteration order as
+  // the std::map instances they replace, binary-search lookup without node
+  // chasing.  Insert/erase invalidates references — the delivery paths
+  // re-find entries after every callback that could mutate these maps.
+  FlatMap<GroupId, GroupView> views_;
+  FlatMap<GroupId, std::vector<DeliverFn>> subscribers_;
+  FlatMap<GroupId, std::vector<ViewFn>> view_subscribers_;
   std::vector<std::pair<GroupId, ReplicaId>> local_members_;
 
   // Receiver-side duplicate detection: highest seq delivered per stream.
-  std::map<DedupKey, MsgSeqNum> last_delivered_;
+  FlatMap<StreamKey, MsgSeqNum> last_delivered_;
 
   // Sender-side suppression: queued local copies by logical identity.
   // Large messages queue several totem fragments under one identity.
@@ -229,8 +257,7 @@ class GcsEndpoint {
     std::vector<std::uint64_t> totem_handles;
     MsgType type;
   };
-  std::map<std::tuple<std::uint32_t, std::uint8_t, std::uint32_t, MsgSeqNum>, PendingSend>
-      pending_;
+  FlatMap<MsgIdKey, PendingSend> pending_;
   std::uint64_t next_handle_ = 1;
   std::size_t max_fragment_payload_ = 1400;
 
@@ -242,9 +269,7 @@ class GcsEndpoint {
     MsgType original_type = MsgType::kUserRequest;
     Bytes data;
   };
-  std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint8_t, std::uint32_t, MsgSeqNum>,
-           Reassembly>
-      reassembly_;
+  FlatMap<ReasmKey, Reassembly> reassembly_;
 
   GcsStats stats_;
   obs::Recorder* rec_ = nullptr;

@@ -7,42 +7,55 @@
 namespace cts::net {
 
 void Network::attach(NodeId node, Handler handler) {
-  handlers_[node] = std::move(handler);
-  down_[node] = false;
+  NodeSlot& s = nodes_.ensure(node.value);
+  s.handler = std::move(handler);
+  s.attached = true;
+  s.down = false;
 }
 
 void Network::detach(NodeId node) {
-  handlers_.erase(node);
-  scopes_.erase(node);
-  down_.erase(node);
-  component_of_.erase(node);
-}
-
-void Network::bind_scope(NodeId node, sim::TaskScope* scope) {
-  if (scope == nullptr) {
-    scopes_.erase(node);
-  } else {
-    scopes_[node] = scope;
+  // Matches the old five-map behavior: handler/scope/down/component state is
+  // dropped, but the NIC's tx_free_at survives (a re-attached host still
+  // queues behind its own historical transmissions).
+  if (NodeSlot* s = nodes_.find(node.value)) {
+    s->handler = nullptr;
+    s->scope = nullptr;
+    s->attached = false;
+    s->down = false;
+    if (s->component != -1) {
+      s->component = -1;
+      --components_assigned_;
+    }
   }
 }
 
+void Network::bind_scope(NodeId node, sim::TaskScope* scope) {
+  nodes_.ensure(node.value).scope = scope;
+}
+
 void Network::set_down(NodeId node, bool down) {
-  if (auto it = down_.find(node); it != down_.end()) it->second = down;
+  // Only attached hosts track liveness, as with the old down_ map whose
+  // entries existed exactly for attached nodes.
+  if (NodeSlot* s = nodes_.find(node.value); s != nullptr && s->attached) s->down = down;
 }
 
 bool Network::is_down(NodeId node) const {
-  auto it = down_.find(node);
-  return it == down_.end() || it->second;
+  const NodeSlot* s = nodes_.find(node.value);
+  return s == nullptr || !s->attached || s->down;
 }
 
 bool Network::reachable(NodeId src, NodeId dst) const {
   if (is_down(dst)) return false;
-  if (component_of_.empty()) return true;
-  auto cs = component_of_.find(src);
-  auto cd = component_of_.find(dst);
-  const int s = cs == component_of_.end() ? -1 : cs->second;
-  const int d = cd == component_of_.end() ? -1 : cd->second;
-  return s == d;
+  if (components_assigned_ == 0) return true;
+  return component_of(src) == component_of(dst);
+}
+
+int Network::component_of(NodeId node) const {
+  if (const NodeSlot* s = nodes_.find(node.value)) return s->component;
+  if (auto it = sparse_components_.find(node.value); it != sparse_components_.end()) {
+    return it->second;
+  }
+  return -1;
 }
 
 Micros Network::tx_departure(NodeId src, std::size_t payload_size) {
@@ -50,7 +63,7 @@ Micros Network::tx_departure(NodeId src, std::size_t payload_size) {
   // the previous one has fully left, plus its own wire time.
   const auto serialization = static_cast<Micros>(
       std::llround(static_cast<double>(payload_size) / cfg_.bytes_per_us));
-  Micros& free_at = tx_free_at_[src];
+  Micros& free_at = nodes_.ensure(src.value).tx_free_at;
   const Micros depart = std::max(sim_.now(), free_at) + serialization;
   free_at = depart;
   return depart;
@@ -85,21 +98,21 @@ void Network::deliver(NodeId src, NodeId dst, SharedBytes payload, Micros depart
   auto on_arrive = [this, src, dst, p = std::move(payload)] {
     // Re-check liveness at delivery time: the destination may have crashed
     // while the packet was in flight without a scope to cancel the packet.
-    auto it = handlers_.find(dst);
-    if (is_down(dst) || it == handlers_.end()) {
+    NodeSlot* s = nodes_.find(dst.value);
+    if (s == nullptr || !s->attached || s->down) {
       drop(src, dst, p.size());
       return;
     }
     ++stats_.packets_delivered;
     if (c_delivered_) ++*c_delivered_;
-    it->second(src, p);
+    s->handler(src, p);
   };
   // The in-flight packet belongs to the destination's lifecycle scope: a
   // fail-stop shutdown cancels it mid-flight (the wire forgets packets to a
   // dead NIC) instead of delivering-then-dropping after the crash.
-  auto sc = scopes_.find(dst);
-  if (sc != scopes_.end()) {
-    sc->second->after(arrive - sim_.now(), std::move(on_arrive));
+  NodeSlot* sd = nodes_.find(dst.value);
+  if (sd != nullptr && sd->scope != nullptr) {
+    sd->scope->after(arrive - sim_.now(), std::move(on_arrive));
   } else {
     sim_.after(arrive - sim_.now(), std::move(on_arrive));
   }
@@ -132,26 +145,46 @@ void Network::broadcast(NodeId src, SharedBytes payload) {
   if (c_sent_) ++*c_sent_;
   // One transmission serves every receiver (Ethernet broadcast); loss and
   // jitter are drawn per receiver (independent NIC/interrupt behavior).
+  // Ascending node-id walk — the same receiver order (and therefore the
+  // same per-receiver RNG draw order) as the ordered map this replaces.
   const Micros depart = tx_departure(src, payload.size());
-  for (const auto& [node, handler] : handlers_) {
-    if (node == src) continue;
+  nodes_.for_each([&](std::uint32_t id, NodeSlot& slot) {
+    if (!slot.attached || id == src.value) return;
+    const NodeId node{id};
     if (!reachable(src, node) || rng_.chance(cfg_.loss_probability)) {
       drop(src, node, payload.size());
-      continue;
+      return;
     }
     deliver(src, node, payload, depart);
-  }
+  });
 }
 
 void Network::partition(const std::vector<std::vector<NodeId>>& components) {
-  component_of_.clear();
+  nodes_.for_each([](std::uint32_t, NodeSlot& s) { s.component = -1; });
+  sparse_components_.clear();
+  components_assigned_ = 0;
   int idx = 0;
   for (const auto& comp : components) {
-    for (NodeId n : comp) component_of_[n] = idx;
+    for (NodeId n : comp) {
+      if (n.value > decltype(nodes_)::kMaxDenseId) {
+        // Sentinel/invalid ids: the old std::map stored them as inert
+        // entries, so they still count as "assigned" (partitioned() is
+        // true) without ever growing the dense slot array.
+        auto [it, fresh] = sparse_components_.try_emplace(n.value, idx);
+        if (fresh) ++components_assigned_;
+        it->second = idx;
+        continue;
+      }
+      NodeSlot& s = nodes_.ensure(n.value);
+      if (s.component == -1) ++components_assigned_;
+      s.component = idx;
+    }
     ++idx;
   }
   CTS_INFO() << "network partitioned into " << components.size() << "+ components";
   if (rec_) {
+    // By-name lookup is fine here: partition()/heal() run per injected
+    // fault, not per packet (the packet counters below are cached).
     ++rec_->counter("net.partitions");
     rec_->event(obs::EventKind::kNetPartition, NodeId{}, ReplicaId{},
                 components.empty() ? 0 : static_cast<std::int64_t>(components[0].size()),
@@ -160,7 +193,9 @@ void Network::partition(const std::vector<std::vector<NodeId>>& components) {
 }
 
 void Network::heal() {
-  component_of_.clear();
+  nodes_.for_each([](std::uint32_t, NodeSlot& s) { s.component = -1; });
+  sparse_components_.clear();
+  components_assigned_ = 0;
   CTS_INFO() << "network partition healed";
   if (rec_) {
     ++rec_->counter("net.heals");

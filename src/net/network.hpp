@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "obs/recorder.hpp"
@@ -103,7 +103,7 @@ class Network {
   /// form an implicit final component.
   void partition(const std::vector<std::vector<NodeId>>& components);
   void heal();
-  [[nodiscard]] bool partitioned() const { return !component_of_.empty(); }
+  [[nodiscard]] bool partitioned() const { return components_assigned_ > 0; }
 
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] NetworkConfig& config() { return cfg_; }
@@ -113,7 +113,27 @@ class Network {
   void set_recorder(obs::Recorder* rec);
 
  private:
+  /// Everything the network knows about one host, in one cache-friendly
+  /// slot indexed directly by node id.  This replaces five parallel
+  /// `std::map<NodeId, ...>` instances (handlers/scopes/down/tx_free_at/
+  /// component_of), collapsing the five per-packet map lookups into array
+  /// loads.  Iteration over attached slots is ascending-id — identical to
+  /// the old ordered-map walk, so broadcast's per-receiver RNG draw order
+  /// (part of the deterministic schedule) is unchanged.
+  struct NodeSlot {
+    Handler handler;
+    sim::TaskScope* scope = nullptr;
+    // Per-node NIC: a host transmits one packet at a time at the wire
+    // rate, so a burst (e.g. checkpoint fragments) queues behind itself.
+    // Survives detach(), like the old standalone tx_free_at_ map.
+    Micros tx_free_at = 0;
+    int component = -1;  // -1 = not in any partition component
+    bool attached = false;
+    bool down = false;
+  };
+
   [[nodiscard]] bool reachable(NodeId src, NodeId dst) const;
+  [[nodiscard]] int component_of(NodeId node) const;
   [[nodiscard]] Micros tx_departure(NodeId src, std::size_t payload_size);
   [[nodiscard]] Micros draw_hop_latency();
   void deliver(NodeId src, NodeId dst, SharedBytes payload, Micros depart);
@@ -122,17 +142,17 @@ class Network {
   sim::Simulator& sim_;
   NetworkConfig cfg_;
   Rng rng_;
-  // Ordered maps, deliberately: broadcast() walks handlers_ drawing
-  // per-receiver loss/jitter randomness, so iteration order is part of the
-  // deterministic schedule.  A hash map here would tie the RNG sequence to
-  // hash-table layout, which varies across standard-library versions.
-  std::map<NodeId, Handler> handlers_;
-  std::map<NodeId, sim::TaskScope*> scopes_;
-  std::map<NodeId, bool> down_;
-  // Per-node NIC: a host transmits one packet at a time at the wire rate,
-  // so a burst (e.g. checkpoint fragments) queues behind itself.
-  std::map<NodeId, Micros> tx_free_at_;
-  std::map<NodeId, int> component_of_;  // empty = fully connected
+  // Deterministic ordered storage, deliberately: broadcast() walks the
+  // slots drawing per-receiver loss/jitter randomness, so iteration order
+  // is part of the deterministic schedule.  A hash map here would tie the
+  // RNG sequence to hash-table layout, which varies across standard-library
+  // versions; DenseNodeIndex iterates in ascending node-id order.
+  DenseNodeIndex<NodeSlot> nodes_;
+  int components_assigned_ = 0;  // #ids (dense or sparse) with component != -1
+  // Component assignments for ids the dense index cannot hold (callers can
+  // legitimately pass sentinel/unattached ids — e.g. a default NodeId — to
+  // partition(); the old std::map stored them inertly, and so do we).
+  FlatMap<std::uint32_t, int> sparse_components_;
   NetworkStats stats_;
   obs::Recorder* rec_ = nullptr;
   // Hot-path counters, resolved once in set_recorder().

@@ -7,12 +7,18 @@
 // Counter* obtained once via counter() — incrementing is a single add on a
 // stable heap slot — and only export walks the name maps.
 //
+// Lookup-by-name takes std::string_view throughout: a probe with a string
+// literal or a composed name does not materialize a temporary std::string
+// (the maps use transparent less<> comparison); only get-or-create inserts
+// allocate, and only on first use of a name.
+//
 // Zero dependencies beyond the standard library; JSON is emitted by hand.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/histogram.hpp"
 #include "common/types.hpp"
@@ -39,34 +45,46 @@ class MetricsRegistry {
  public:
   /// Get-or-create a counter.  The returned reference is stable: counters
   /// live in a node-based map and are never removed.
-  Counter& counter(const std::string& name) { return counters_[name]; }
+  Counter& counter(std::string_view name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) it = counters_.try_emplace(std::string(name)).first;
+    return it->second;
+  }
 
   /// Current value, or 0 if the counter was never created.  Lookup does not
   /// create the counter, so probing for absent names is side-effect free.
-  [[nodiscard]] std::uint64_t value(const std::string& name) const {
+  [[nodiscard]] std::uint64_t value(std::string_view name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.value;
   }
 
   /// Set a point-in-time gauge (last observed value wins).
-  void set_gauge(const std::string& name, std::int64_t v) { gauges_[name] = v; }
+  void set_gauge(std::string_view name, std::int64_t v) { gauge_slot(name) = v; }
 
-  [[nodiscard]] std::int64_t gauge(const std::string& name) const {
+  /// Get-or-create a gauge's storage slot.  Stable reference (node-based
+  /// map): export/sync paths resolve the slot once and assign through it.
+  std::int64_t& gauge_slot(std::string_view name) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) it = gauges_.try_emplace(std::string(name), 0).first;
+    return it->second;
+  }
+
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const {
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0 : it->second;
   }
 
   /// Get-or-create a histogram timer.  bin_width/max_value apply only on
   /// creation; later calls with the same name return the existing instance.
-  Histogram& histogram(const std::string& name, Micros bin_width, Micros max_value) {
+  Histogram& histogram(std::string_view name, Micros bin_width, Micros max_value) {
     auto it = histograms_.find(name);
     if (it == histograms_.end()) {
-      it = histograms_.try_emplace(name, bin_width, max_value).first;
+      it = histograms_.try_emplace(std::string(name), bin_width, max_value).first;
     }
     return it->second;
   }
 
-  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const {
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const {
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
   }
@@ -89,9 +107,20 @@ class MetricsRegistry {
   bool write_json(const std::string& path) const;
 
  private:
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, std::int64_t> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  // Deliberately std::map, not cts::FlatMap: counter()/gauge_slot()
+  // references must stay stable for the registry's lifetime (hot paths
+  // cache Counter*), which requires node-based storage.  These maps are
+  // only walked at export time.  std::less<> enables string_view probes
+  // without a temporary std::string.
+  // detlint:allow(hot-path-map): node-based storage is the point — stable
+  // Counter&/gauge references; lookups are amortized away by handle caching.
+  std::map<std::string, Counter, std::less<>> counters_;
+  // detlint:allow(hot-path-map): same stable-reference requirement as
+  // counters_ (gauge_slot hands out long-lived slot references).
+  std::map<std::string, std::int64_t, std::less<>> gauges_;
+  // detlint:allow(hot-path-map): histograms are created once and looked up
+  // at export; Histogram& references must survive later creations.
+  std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
 }  // namespace cts::obs

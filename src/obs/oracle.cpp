@@ -4,10 +4,44 @@
 #include <cstdlib>
 #include <sstream>
 
+
 #include "common/bytes.hpp"
 #include "common/logging.hpp"
 
 namespace cts::obs {
+
+namespace {
+
+// Payload fingerprint for the canonical-sequence divergence check.  Purely
+// oracle-internal (never exported, traced, or compared across builds), so it
+// does not need to be FNV-1a like the wire envelopes — and must not be:
+// FNV's byte-serial dependent multiply chain costs more per delivery than
+// the rest of the check combined.  This mixes 8 bytes per step instead.
+std::uint64_t payload_fingerprint(std::span<const std::uint8_t> p) {
+  // Two independent accumulator lanes: the multiplies of consecutive steps
+  // overlap in the pipeline instead of forming one serial dependency chain.
+  std::uint64_t h0 = 0x9e3779b97f4a7c15ull ^ (p.size() * 0xff51afd7ed558ccdull);
+  std::uint64_t h1 = 0xc4ceb9fe1a85ec53ull;
+  std::size_t i = 0;
+  for (; i + 16 <= p.size(); i += 16) {
+    const std::uint64_t w0 = load_u64le(p.data() + i);
+    const std::uint64_t w1 = load_u64le(p.data() + i + 8);
+    h0 = (h0 ^ (w0 * 0xff51afd7ed558ccdull)) * 0xc4ceb9fe1a85ec53ull;
+    h1 = (h1 ^ (w1 * 0x9e3779b97f4a7c15ull)) * 0xff51afd7ed558ccdull;
+  }
+  for (; i + 8 <= p.size(); i += 8) {
+    const std::uint64_t w = load_u64le(p.data() + i);
+    h0 = (h0 ^ (w * 0xff51afd7ed558ccdull)) * 0xc4ceb9fe1a85ec53ull;
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t shift = 0; i < p.size(); ++i, shift += 8) {
+    tail |= static_cast<std::uint64_t>(p[i]) << shift;
+  }
+  std::uint64_t h = (h0 ^ (h1 >> 31) ^ tail) * 0xc4ceb9fe1a85ec53ull;
+  return h ^ (h >> 29);
+}
+
+}  // namespace
 
 const char* OrderingOracle::check_name(Check c) {
   switch (c) {
@@ -61,13 +95,60 @@ void OrderingOracle::violate(Check c, NodeId node, ReplicaId replica, std::strin
   }
 }
 
+// --- Cached index accessors --------------------------------------------------
+
+OrderingOracle::GroupCanon& OrderingOracle::group_canon(std::uint32_t grp) {
+  if (cached_canon_ != nullptr && cached_canon_grp_ == grp) return *cached_canon_;
+  auto [it, fresh] = canon_.try_emplace(grp);
+  if (fresh) {
+    // canon_ grew: GroupCanon objects moved, so any cached stream pointer
+    // (whose OWNING map object lives inside a GroupCanon) must be re-found.
+    // The stream heap buffers themselves survive, but re-finding is the
+    // simple rule that is always right.
+    cached_stream_ = nullptr;
+  }
+  cached_canon_grp_ = grp;
+  cached_canon_ = &it->second;
+  return *cached_canon_;
+}
+
+OrderingOracle::StreamCanon& OrderingOracle::stream_canon(std::uint32_t grp, GroupCanon& canon,
+                                                          StreamKey key) {
+  if (cached_stream_ != nullptr && cached_stream_grp_ == grp && cached_stream_key_ == key) {
+    return *cached_stream_;
+  }
+  auto [it, fresh] = canon.streams.try_emplace(key);
+  cached_stream_grp_ = grp;
+  cached_stream_key_ = key;
+  cached_stream_ = &it->second;
+  return *cached_stream_;
+}
+
+OrderingOracle::NodeCursor& OrderingOracle::cursor(std::uint64_t node_group_key) {
+  if (cached_cursor_ != nullptr && cached_cursor_key_ == node_group_key) return *cached_cursor_;
+  auto [it, fresh] = cursors_.try_emplace(node_group_key);
+  cached_cursor_key_ = node_group_key;
+  cached_cursor_ = &it->second;
+  return *cached_cursor_;
+}
+
+OrderingOracle::ReplicaState& OrderingOracle::replica_state(GroupId grp, ReplicaId r) {
+  const std::uint64_t key = pack_u32_pair(grp.value, r.value);
+  if (cached_replica_ != nullptr && cached_replica_key_ == key) return *cached_replica_;
+  auto [it, fresh] = replicas_.try_emplace(key);
+  cached_replica_key_ = key;
+  cached_replica_ = &it->second;
+  return *cached_replica_;
+}
+
 // --- Delivery / membership ---------------------------------------------------
 
 void OrderingOracle::on_view_installed(NodeId node, std::uint64_t ring_id,
                                        std::span<const NodeId> members) {
-  auto& v = views_[node.value];
+  auto& v = views_.ensure(node.value);
   v.ring_id = ring_id;
   v.members.assign(members.begin(), members.end());
+  ++view_epoch_;  // invalidate every cached membership verdict
 }
 
 void OrderingOracle::on_gcs_deliver(NodeId node, GroupId dst_grp, ConnectionId conn,
@@ -79,23 +160,46 @@ void OrderingOracle::on_gcs_deliver(NodeId node, GroupId dst_grp, ConnectionId c
   // Virtual synchrony: the sender must be a member of the receiver's
   // currently installed ring view.  Skipped until the node's first view is
   // observed (formation traffic cannot reach delivery before installation).
-  if (auto vit = views_.find(node.value); vit != views_.end()) {
-    const auto& m = vit->second.members;
-    if (!std::binary_search(m.begin(), m.end(), sender)) {
-      std::ostringstream os;
-      os << "delivery from node " << sender.value << " outside installed view (ring "
-         << vit->second.ring_id << ", " << m.size() << " members)";
-      violate(Check::kMembership, node, ReplicaId{}, os.str());
+  if (const ViewInfo* vi = views_.find(node.value)) {
+    const std::uint64_t member_key = pack_u32_pair(node.value, sender.value);
+    if (member_key != cached_member_key_ || view_epoch_ != cached_member_epoch_) {
+      const auto& m = vi->members;
+      if (!std::binary_search(m.begin(), m.end(), sender)) {
+        std::ostringstream os;
+        os << "delivery from node " << sender.value << " outside installed view (ring "
+           << vi->ring_id << ", " << m.size() << " members)";
+        violate(Check::kMembership, node, ReplicaId{}, os.str());
+      } else {
+        cached_member_key_ = member_key;
+        cached_member_epoch_ = view_epoch_;
+      }
     }
   }
 
   // Total order: each node's delivery sequence for a group must be a
   // subsequence of the canonical sequence (order of first delivery
   // anywhere), with identical payload bytes per key.
-  const MsgKey key{conn.value, type, tag.value, seq};
-  const std::uint64_t hash = fnv1a64(payload);
-  auto& canon = canon_[dst_grp.value];
-  auto [it, fresh] = canon.by_key.try_emplace(key);
+  const std::uint64_t hash = payload_fingerprint(payload);
+  GroupCanon& canon = group_canon(dst_grp.value);
+  StreamCanon& stream = stream_canon(
+      dst_grp.value, canon,
+      StreamKey{(static_cast<std::uint64_t>(conn.value) << 8) | type, tag.value});
+  auto [it, fresh] = [&] {
+    // Hinted lookup (see StreamCanon::hint): check the last-touched entry
+    // and its successor before falling back to the full search.
+    const std::size_t n = stream.by_seq.size();
+    if (stream.hint < n) {
+      const auto h = stream.by_seq.begin() + static_cast<std::ptrdiff_t>(stream.hint);
+      if (h->first == seq) return std::pair{h, false};
+      if (stream.hint + 1 < n && (h + 1)->first == seq) {
+        ++stream.hint;
+        return std::pair{h + 1, false};
+      }
+    }
+    auto r = stream.by_seq.try_emplace(seq);
+    stream.hint = static_cast<std::size_t>(r.first - stream.by_seq.begin());
+    return r;
+  }();
   if (fresh) {
     it->second.index = canon.next_index++;
     it->second.payload_hash = hash;
@@ -106,7 +210,7 @@ void OrderingOracle::on_gcs_deliver(NodeId node, GroupId dst_grp, ConnectionId c
     violate(Check::kTotalOrder, node, ReplicaId{}, os.str());
   }
 
-  auto& cur = cursors_[{node.value, dst_grp.value}];
+  NodeCursor& cur = cursor(pack_u32_pair(node.value, dst_grp.value));
   if (cur.synced && it->second.index <= cur.last_index && !fresh) {
     std::ostringstream os;
     os << "grp " << dst_grp.value << " delivery (conn " << conn.value << " tag " << tag.value
@@ -136,14 +240,15 @@ void OrderingOracle::note_cross_shard(std::uint32_t src_group, std::uint32_t dst
   if (src_group == GroupId::kInvalid || src_group == dst_group) return;
   ++cross_shard_total_;
   ++*c_cross_shard_;
-  ++cross_pairs_[{src_group, dst_group}];
+  ++cross_pairs_[pack_u32_pair(src_group, dst_group)];
 }
 
 OrderingOracle::CrossShardEdge OrderingOracle::worst_cross_shard_edge() const {
   CrossShardEdge worst;
-  for (const auto& [pair, count] : cross_pairs_) {
+  for (const auto& [key, count] : cross_pairs_) {
     if (count > worst.violations) {
-      worst = CrossShardEdge{pair.first, pair.second, count};
+      worst = CrossShardEdge{static_cast<std::uint32_t>(key >> 32),
+                             static_cast<std::uint32_t>(key & 0xffffffffu), count};
     }
   }
   return worst;
@@ -161,7 +266,7 @@ void OrderingOracle::on_ccs_send(GroupId grp, ReplicaId replica, ThreadId thread
     note_cross_shard(rs.floor_src_group, grp.value);
     violate(Check::kCausalFloor, NodeId{}, replica, os.str());
   }
-  sends_[{grp.value, thread.value, round, replica.value}] =
+  sends_[pack_u32_pair(grp.value, thread.value)][RoundReplicaKey{round, replica.value}] =
       SendInfo{proposed, rs.tracked_floor, rs.floor_src_group};
 }
 
@@ -173,7 +278,7 @@ void OrderingOracle::on_round_complete(GroupId grp, ReplicaId replica, ThreadId 
 
   // Agreement: every replica completing (grp, thread, round) must observe
   // the same group-clock value and the same synchronizer.
-  auto [rit, fresh] = rounds_.try_emplace({grp.value, thread.value, round});
+  auto [rit, fresh] = rounds_[pack_u32_pair(grp.value, thread.value)].try_emplace(round);
   if (fresh) {
     rit->second = RoundRecord{value, winner.value};
   } else if (rit->second.value != value || rit->second.winner != winner.value) {
@@ -188,17 +293,20 @@ void OrderingOracle::on_round_complete(GroupId grp, ReplicaId replica, ThreadId 
   // below the winner's floor-at-send breaks causality; a clamp that stays
   // above the floor is only counted.  Values at or above the proposal are
   // covered by the send-time check plus the monotone-raise of delivery.
-  if (auto sit = sends_.find({grp.value, thread.value, round, winner.value});
-      sit != sends_.end()) {
-    if (value < sit->second.proposed) {
-      if (sit->second.floor_at_send != kNoTime && value <= sit->second.floor_at_send) {
-        std::ostringstream os;
-        os << "round (thread " << thread.value << ", seq " << round << ") value " << value
-           << " clamped below the winner's causal floor at send " << sit->second.floor_at_send;
-        note_cross_shard(sit->second.floor_src_group, grp.value);
-        violate(Check::kCausalFloor, NodeId{}, replica, os.str());
-      } else {
-        ++*c_clamped_;
+  if (auto group_sends = sends_.find(pack_u32_pair(grp.value, thread.value));
+      group_sends != sends_.end()) {
+    if (auto sit = group_sends->second.find(RoundReplicaKey{round, winner.value});
+        sit != group_sends->second.end()) {
+      if (value < sit->second.proposed) {
+        if (sit->second.floor_at_send != kNoTime && value <= sit->second.floor_at_send) {
+          std::ostringstream os;
+          os << "round (thread " << thread.value << ", seq " << round << ") value " << value
+             << " clamped below the winner's causal floor at send " << sit->second.floor_at_send;
+          note_cross_shard(sit->second.floor_src_group, grp.value);
+          violate(Check::kCausalFloor, NodeId{}, replica, os.str());
+        } else {
+          ++*c_clamped_;
+        }
       }
     }
   }
@@ -277,8 +385,9 @@ void OrderingOracle::on_recovery_epoch(GroupId grp, ReplicaId replica, MsgSeqNum
 // --- Lifecycle ---------------------------------------------------------------
 
 void OrderingOracle::on_node_reset(NodeId node) {
+  // Value-only mutation: cached pointers stay valid.
   for (auto& [key, cur] : cursors_) {
-    if (key.first == node.value) cur.synced = false;
+    if ((key >> 32) == node.value) cur.synced = false;
   }
 }
 
@@ -303,15 +412,21 @@ void OrderingOracle::on_group_reset(GroupId grp) {
   // so per-round agreement history no longer applies.  Value monotonicity
   // is deliberately NOT reset: the restored state must force the group
   // clock above every reading handed out before the outage.
-  std::erase_if(rounds_, [&](const auto& kv) { return std::get<0>(kv.first) == grp.value; });
-  std::erase_if(sends_, [&](const auto& kv) { return std::get<0>(kv.first) == grp.value; });
+  cts::erase_if(rounds_, [&](const auto& kv) { return (kv.first >> 32) == grp.value; });
+  cts::erase_if(sends_, [&](const auto& kv) { return (kv.first >> 32) == grp.value; });
   // Connection sequence numbers restart with the group, so (conn, type,
   // tag, seq) keys are legitimately reused: the canonical delivery
   // sequence rebuilds from the post-restart traffic.
   canon_.erase(grp.value);
-  std::erase_if(cursors_, [&](const auto& kv) { return kv.first.second == grp.value; });
+  cts::erase_if(cursors_, [&](const auto& kv) {
+    return (kv.first & 0xffffffffu) == grp.value;
+  });
+  // Structural mutation of cached-pointer targets: drop every cache.
+  cached_canon_ = nullptr;
+  cached_stream_ = nullptr;
+  cached_cursor_ = nullptr;
   for (auto& [key, rs] : replicas_) {
-    if (key.first == grp.value) {
+    if ((key >> 32) == grp.value) {
       for (auto& [t, ts] : rs.threads) ts.round_synced = false;
     }
   }

@@ -46,11 +46,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -173,16 +173,55 @@ class OrderingOracle {
   static const char* check_name(Check c);
 
  private:
-  // (conn, type, tag, seq) — the GCS duplicate-detection identity of a
-  // logical message within a destination group.
-  using MsgKey = std::tuple<std::uint32_t, std::uint8_t, std::uint32_t, MsgSeqNum>;
+  // All indexes are flat containers (common/flat_map.hpp) with tuple keys
+  // packed into machine words whose field-wise comparison reproduces the
+  // old std::map tuple order.  The per-event checks additionally keep
+  // one-entry lookup caches: delivery traffic hits the same (group, stream,
+  // node) keys millions of times in a row, so the amortized cost of a check
+  // is a handful of compares instead of a red-black tree walk per index.
+  //
+  // Cache discipline: a cached pointer targets a FlatMap's heap buffer, so
+  // it survives relocation of the OWNING map's elements (moving a FlatMap
+  // object moves the vector object, not its buffer) but dies when the
+  // TARGET map itself inserts or erases.  Every structural mutation happens
+  // inside the accessor that owns the cache (which refreshes it) or in the
+  // reset hooks (which null it).
+
+  // (conn, type, tag) with conn/type packed into disjoint bit ranges of one
+  // word — numeric order on `hi` is lexicographic (conn, type) order.
+  struct StreamKey {
+    std::uint64_t hi;  // (conn << 8) | type
+    std::uint64_t lo;  // tag
+    friend auto operator<=>(const StreamKey&, const StreamKey&) = default;
+  };
+  // (round, replica): rounds dominate the ordering, so inserts append.
+  struct RoundReplicaKey {
+    MsgSeqNum round;
+    std::uint32_t replica;
+    friend auto operator<=>(const RoundReplicaKey&, const RoundReplicaKey&) = default;
+  };
 
   struct CanonEntry {
     std::size_t index = 0;       // position in the canonical sequence
     std::uint64_t payload_hash = 0;
   };
+  // Canonical delivery store, two-level: stream -> (seq -> entry).  Seqs
+  // within a stream are delivered in near-monotone order, so the inner map
+  // grows by appends; a single flat (stream, seq) index would take an O(n)
+  // mid-vector insert per message once streams interleave.
+  struct StreamCanon {
+    FlatMap<MsgSeqNum, CanonEntry> by_seq;
+    // Position of the last-touched entry.  Each node re-delivers a stream's
+    // seqs in increasing order, so the next delivery is almost always at
+    // `hint` or `hint + 1`; the hint turns the per-delivery lookup into a
+    // couple of adjacent compares instead of a binary search across every
+    // seq the stream has ever carried.  Positions of existing entries are
+    // stable under the tail-append inserts this map sees (and a stale hint
+    // only costs the fallback search).
+    std::size_t hint = 0;
+  };
   struct GroupCanon {
-    std::map<MsgKey, CanonEntry> by_key;
+    FlatMap<StreamKey, StreamCanon> streams;
     std::size_t next_index = 0;
   };
   struct NodeCursor {
@@ -214,14 +253,17 @@ class OrderingOracle {
     bool has_chain = false;
     MsgSeqNum last_epoch = 0;
     bool has_epoch = false;
-    std::map<std::uint32_t, ThreadState> threads;  // by thread id
+    FlatMap<std::uint32_t, ThreadState> threads;  // by thread id
   };
 
   void violate(Check c, NodeId node, ReplicaId replica, std::string detail);
   void note_cross_shard(std::uint32_t src_group, std::uint32_t dst_group);
-  ReplicaState& replica_state(GroupId grp, ReplicaId r) {
-    return replicas_[{grp.value, r.value}];
-  }
+
+  /// Cached get-or-create accessors for the per-event indexes.
+  GroupCanon& group_canon(std::uint32_t grp);
+  StreamCanon& stream_canon(std::uint32_t grp, GroupCanon& canon, StreamKey key);
+  NodeCursor& cursor(std::uint64_t node_group_key);
+  ReplicaState& replica_state(GroupId grp, ReplicaId r);
 
   sim::Simulator& sim_;
   MetricsRegistry& metrics_;
@@ -237,19 +279,40 @@ class OrderingOracle {
   std::uint64_t checks_run_ = 0;
   std::uint64_t violations_total_ = 0;
   std::uint64_t cross_shard_total_ = 0;
-  // (src group, dst group) -> cross-shard causal-floor violations
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> cross_pairs_;
+  // (src << 32 | dst group) -> cross-shard causal-floor violations; the
+  // packed key iterates in the same lexicographic (src, dst) order as the
+  // pair-keyed map it replaces, preserving worst_cross_shard_edge's
+  // first-wins tie-break.
+  FlatMap<std::uint64_t, std::uint64_t> cross_pairs_;
   std::uint64_t violations_by_check_[kCheckCount] = {};
   std::vector<Violation> log_;
 
-  std::map<std::uint32_t, GroupCanon> canon_;                          // by group id
-  std::map<std::pair<std::uint32_t, std::uint32_t>, NodeCursor> cursors_;  // (node, group)
-  std::map<std::uint32_t, ViewInfo> views_;                            // by node id
-  // (group, thread, round, sender replica) -> proposal snapshot
-  std::map<std::tuple<std::uint32_t, std::uint32_t, MsgSeqNum, std::uint32_t>, SendInfo> sends_;
-  // (group, thread, round) -> agreed result
-  std::map<std::tuple<std::uint32_t, std::uint32_t, MsgSeqNum>, RoundRecord> rounds_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, ReplicaState> replicas_;  // (group, replica)
+  FlatMap<std::uint32_t, GroupCanon> canon_;  // by group id
+  FlatMap<std::uint64_t, NodeCursor> cursors_;  // (node << 32) | group
+  DenseNodeIndex<ViewInfo> views_;            // by node id: one array load
+  // (group << 32 | thread) -> (round, sender replica) -> proposal snapshot
+  FlatMap<std::uint64_t, FlatMap<RoundReplicaKey, SendInfo>> sends_;
+  // (group << 32 | thread) -> round -> agreed result
+  FlatMap<std::uint64_t, FlatMap<MsgSeqNum, RoundRecord>> rounds_;
+  FlatMap<std::uint64_t, ReplicaState> replicas_;  // (group << 32) | replica
+
+  // One-entry lookup caches for the hot hooks (see discipline note above).
+  std::uint32_t cached_canon_grp_ = GroupId::kInvalid;
+  GroupCanon* cached_canon_ = nullptr;
+  std::uint32_t cached_stream_grp_ = GroupId::kInvalid;
+  StreamKey cached_stream_key_{};
+  StreamCanon* cached_stream_ = nullptr;
+  std::uint64_t cached_cursor_key_ = 0;
+  NodeCursor* cached_cursor_ = nullptr;
+  std::uint64_t cached_replica_key_ = 0;
+  ReplicaState* cached_replica_ = nullptr;
+  // Membership fast path: the last (node, sender) pair verified against the
+  // node's installed view, valid only for the epoch it was checked in (any
+  // view install anywhere bumps the epoch — installs are rare, deliveries
+  // are not).  Only successful checks are cached; violations re-verify.
+  std::uint64_t view_epoch_ = 0;
+  std::uint64_t cached_member_key_ = ~0ull;  // (node << 32) | sender
+  std::uint64_t cached_member_epoch_ = 0;
 };
 
 }  // namespace cts::obs

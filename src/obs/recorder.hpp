@@ -30,7 +30,7 @@ class Recorder {
   [[nodiscard]] const TraceLog& trace() const { return trace_; }
 
   /// Shortcut for metrics().counter() — the common wiring call.
-  Counter& counter(const std::string& name) { return metrics_.counter(name); }
+  Counter& counter(std::string_view name) { return metrics_.counter(name); }
 
   /// Create the runtime ordering oracle (doc/STATIC_ANALYSIS.md).  Must be
   /// called BEFORE the layers' set_recorder() wiring — they cache the
@@ -62,11 +62,16 @@ class Recorder {
   /// summaries carry the engine's view of the run:
   ///   sim.events_executed (counter) — events fired since construction;
   ///   sim.queue_depth (gauge)       — live pending events at export time.
-  /// Called by summary()/export_files(); cheap and idempotent.
+  /// Called by summary()/export_files(); cheap and idempotent.  The counter
+  /// and gauge slots are resolved once (stable node references) so repeated
+  /// syncs skip the by-name map walk entirely.
   void sync_sim_stats() {
-    metrics_.counter("sim.events_executed").value =
-        static_cast<std::int64_t>(sim_.events_executed());
-    metrics_.set_gauge("sim.queue_depth", static_cast<std::int64_t>(sim_.pending()));
+    if (sim_events_ == nullptr) {
+      sim_events_ = &metrics_.counter("sim.events_executed");
+      sim_queue_depth_ = &metrics_.gauge_slot("sim.queue_depth");
+    }
+    sim_events_->value = sim_.events_executed();
+    *sim_queue_depth_ = static_cast<std::int64_t>(sim_.pending());
   }
 
  private:
@@ -74,6 +79,8 @@ class Recorder {
   MetricsRegistry metrics_;
   TraceLog trace_;
   std::unique_ptr<OrderingOracle> oracle_;
+  Counter* sim_events_ = nullptr;
+  std::int64_t* sim_queue_depth_ = nullptr;
 };
 
 /// Honor the observability environment variables:

@@ -88,7 +88,7 @@ void ReplicaManager::start_recovering(UniqueFn<void()> recovered) {
   saw_own_get_state_ = false;
   recovered_cb_ = std::move(recovered);
   if (rec_) {
-    ++rec_->counter("repl.recoveries_started");
+    ++*c_recoveries_started_;
     rec_->event(obs::EventKind::kRecoveryStart, gcs_.node_id(), cfg_.replica);
   }
   cts_.begin_recovery([this](Micros) { clock_initialized_ = true; });
@@ -212,7 +212,7 @@ void ReplicaManager::on_view(const gcs::GroupView& v) {
     primary_ = true;
     CTS_INFO() << "replica " << to_string(cfg_.replica) << " promoted to primary";
     if (rec_) {
-      ++rec_->counter("repl.promotions");
+      ++*c_promotions_;
       rec_->event(obs::EventKind::kFailover, gcs_.node_id(), cfg_.replica,
                   static_cast<std::int64_t>(stats_.promotions));
     }
@@ -384,7 +384,7 @@ std::optional<DecodedCheckpoint> ReplicaManager::verify_state_payload(
   }
   if (!ok) {
     ++stats_.checkpoints_rejected;
-    if (rec_) ++rec_->counter("repl.checkpoints_rejected");
+    if (rec_) ++*c_checkpoints_rejected_;
     return std::nullopt;
   }
   return d;
@@ -404,7 +404,7 @@ void ReplicaManager::apply_full_checkpoint(std::span<const std::uint8_t> state) 
   processed_count_ = covered;
   ++stats_.checkpoints_applied;
   if (rec_) {
-    ++rec_->counter("repl.checkpoints_applied");
+    ++*c_checkpoints_applied_;
     rec_->event(obs::EventKind::kCheckpointApplied, gcs_.node_id(), cfg_.replica,
                 static_cast<std::int64_t>(covered));
   }
@@ -457,7 +457,7 @@ void ReplicaManager::maybe_serve_barrier() {
 void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
   ++stats_.state_transfers_served;
   if (rec_) {
-    ++rec_->counter("repl.state_transfers_served");
+    ++*c_state_transfers_served_;
     rec_->event(obs::EventKind::kStateTransfer, gcs_.node_id(), cfg_.replica,
                 static_cast<std::int64_t>(log_.size()));
   }
@@ -478,7 +478,7 @@ void ReplicaManager::serve_state_transfer(const gcs::Message& get_state) {
     gcs_.send(std::move(m));
     ++stats_.checkpoints_taken;
     if (rec_) {
-      ++rec_->counter("repl.checkpoints_taken");
+      ++*c_checkpoints_taken_;
       rec_->event(obs::EventKind::kCheckpointTaken, gcs_.node_id(), cfg_.replica,
                   static_cast<std::int64_t>(ckpt_bytes));
     }
@@ -531,7 +531,7 @@ void ReplicaManager::take_periodic_checkpoint() {
   gcs_.send(std::move(m));
   ++stats_.checkpoints_taken;
   if (rec_) {
-    ++rec_->counter("repl.checkpoints_taken");
+    ++*c_checkpoints_taken_;
     rec_->event(obs::EventKind::kCheckpointTaken, gcs_.node_id(), cfg_.replica,
                 static_cast<std::int64_t>(ckpt_bytes));
   }
@@ -572,7 +572,7 @@ void ReplicaManager::on_state(const gcs::Message& m) {
     CTS_INFO() << "replica " << to_string(cfg_.replica) << " recovered (" << queued
                << " queued requests to drain)";
     if (rec_) {
-      ++rec_->counter("repl.recoveries_completed");
+      ++*c_recoveries_completed_;
       rec_->event(obs::EventKind::kRecoveryComplete, gcs_.node_id(), cfg_.replica,
                   static_cast<std::int64_t>(queued));
     }
@@ -627,6 +627,17 @@ void ReplicaManager::note_chain(bool verified) {
 void ReplicaManager::set_recorder(obs::Recorder* rec) {
   rec_ = rec;
   orc_ = rec ? rec->oracle() : nullptr;
+  if (rec != nullptr) {
+    // Resolve the repl.* counter handles once per wiring instead of paying
+    // a by-name registry lookup on every checkpoint / recovery event.
+    c_recoveries_started_ = &rec->counter("repl.recoveries_started");
+    c_recoveries_completed_ = &rec->counter("repl.recoveries_completed");
+    c_promotions_ = &rec->counter("repl.promotions");
+    c_checkpoints_taken_ = &rec->counter("repl.checkpoints_taken");
+    c_checkpoints_applied_ = &rec->counter("repl.checkpoints_applied");
+    c_checkpoints_rejected_ = &rec->counter("repl.checkpoints_rejected");
+    c_state_transfers_served_ = &rec->counter("repl.state_transfers_served");
+  }
   cts_.set_recorder(rec);
 }
 

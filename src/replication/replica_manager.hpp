@@ -251,6 +251,15 @@ class ReplicaManager {
   ManagerStats stats_;
   obs::Recorder* rec_ = nullptr;
   obs::OrderingOracle* orc_ = nullptr;  // cached from rec_ in set_recorder()
+  // repl.* counter handles, cached alongside rec_ (guarded by `if (rec_)`
+  // at every use, same as rec_ itself).
+  obs::Counter* c_recoveries_started_ = nullptr;
+  obs::Counter* c_recoveries_completed_ = nullptr;
+  obs::Counter* c_promotions_ = nullptr;
+  obs::Counter* c_checkpoints_taken_ = nullptr;
+  obs::Counter* c_checkpoints_applied_ = nullptr;
+  obs::Counter* c_checkpoints_rejected_ = nullptr;
+  obs::Counter* c_state_transfers_served_ = nullptr;
 };
 
 }  // namespace cts::replication

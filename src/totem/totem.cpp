@@ -598,7 +598,14 @@ void TotemNode::deliver_contiguous() {
     ++delivered_up_to_;
     ++stats_.msgs_delivered;
     if (c_delivered_) ++*c_delivered_;
-    if (deliver_) deliver_(it->second.sender, it->second.payload);
+    // Copy sender + payload (a refcount bump, not a buffer copy) out of the
+    // store before invoking the callback: a fail-stop crash() from inside
+    // the delivery chain clears store_, destroying the entry `it` points at.
+    if (deliver_) {
+      const NodeId sender = it->second.sender;
+      const SharedBytes payload = it->second.payload;
+      deliver_(sender, payload);
+    }
   }
 }
 

@@ -42,12 +42,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
 #include "obs/recorder.hpp"
@@ -297,7 +296,12 @@ class TotemNode {
   View view_;
 
   // Current-ring message store: seq -> message; my_aru = contiguous prefix.
-  std::map<TotemSeq, Mcast> store_;
+  // FlatMap fits this workload exactly: seqs arrive near-monotonically (an
+  // insert is almost always an append at the back), the delivered prefix is
+  // never erased one-by-one — the whole store is cleared on ring install or
+  // crash — and the hot operations (contains of aru+1, find of the next
+  // undelivered seq) are binary searches over a contiguous vector.
+  FlatMap<TotemSeq, Mcast> store_;
   TotemSeq my_aru_ = 0;
   TotemSeq delivered_up_to_ = 0;
   std::uint64_t last_token_seq_ = 0;
@@ -332,8 +336,8 @@ class TotemNode {
   bool token_retrans_armed_ = false;
 
   // Gather state.
-  std::map<NodeId, Join> joins_;
-  std::set<NodeId> perceived_;
+  FlatMap<NodeId, Join> joins_;
+  FlatSet<NodeId> perceived_;
   sim::Simulator::EventId gather_timer_{};
   bool gather_armed_ = false;
   sim::Simulator::EventId commit_timer_{};
@@ -341,7 +345,7 @@ class TotemNode {
 
   // Recovery state.
   Commit pending_commit_;
-  std::map<TotemSeq, Mcast> recovered_;  // old-ring messages gathered in recovery
+  FlatMap<TotemSeq, Mcast> recovered_;  // old-ring messages gathered in recovery
   sim::Simulator::EventId recovery_timer_{};
   bool recovery_armed_ = false;
   // Highest old-ring seq any surviving member reported; install is delayed
@@ -356,7 +360,7 @@ class TotemNode {
 
   // Ring ids this node has been part of or seen; foreign-mcast detection
   // ignores these so stray recovery rebroadcasts don't re-trigger gather.
-  std::set<RingId> known_rings_;
+  FlatSet<RingId> known_rings_;
   RingId max_ring_seen_ = 0;
 
   DeliverFn deliver_;

@@ -56,7 +56,9 @@ TEST(CheckpointChainTest, TamperedSnapshotByteIsRejected) {
 TEST(CheckpointChainTest, TamperedHeaderFieldIsRejected) {
   auto [chain, newest] = sample_chain();
   chain[1].upto += 1;  // inflate the middle header's covered count
-  auto d = decode_chained_checkpoint(encode_chained_checkpoint(newest, chain));
+  // Keep the encoded payload alive: DecodedCheckpoint::snapshot aliases it.
+  const Bytes payload = encode_chained_checkpoint(newest, chain);
+  auto d = decode_chained_checkpoint(payload);
   ASSERT_TRUE(d.has_value());
   EXPECT_FALSE(verify_chained_checkpoint(*d));  // its link no longer recomputes
 }
@@ -67,7 +69,9 @@ TEST(CheckpointChainTest, RelinkedTamperStillBreaksTheChain) {
   auto [chain, newest] = sample_chain();
   chain[1].upto += 1;
   chain[1].link = chain_link(chain[1].upto, chain[1].digest, chain[1].parent);
-  auto d = decode_chained_checkpoint(encode_chained_checkpoint(newest, chain));
+  // Keep the encoded payload alive: DecodedCheckpoint::snapshot aliases it.
+  const Bytes payload = encode_chained_checkpoint(newest, chain);
+  auto d = decode_chained_checkpoint(payload);
   ASSERT_TRUE(d.has_value());
   EXPECT_FALSE(verify_chained_checkpoint(*d));
 }
@@ -75,7 +79,9 @@ TEST(CheckpointChainTest, RelinkedTamperStillBreaksTheChain) {
 TEST(CheckpointChainTest, ReorderedHeadersAreRejected) {
   auto [chain, newest] = sample_chain();
   std::swap(chain[0], chain[1]);
-  auto d = decode_chained_checkpoint(encode_chained_checkpoint(newest, chain));
+  // Keep the encoded payload alive: DecodedCheckpoint::snapshot aliases it.
+  const Bytes payload = encode_chained_checkpoint(newest, chain);
+  auto d = decode_chained_checkpoint(payload);
   ASSERT_TRUE(d.has_value());
   EXPECT_FALSE(verify_chained_checkpoint(*d));
 }
@@ -96,7 +102,9 @@ TEST(CheckpointChainTest, CoveredCountMustNotDecrease) {
   b.parent = a.link;
   b.link = chain_link(b.upto, b.digest, b.parent);
   chain = {a, b};
-  auto d = decode_chained_checkpoint(encode_chained_checkpoint(newest, chain));
+  // Keep the encoded payload alive: DecodedCheckpoint::snapshot aliases it.
+  const Bytes payload = encode_chained_checkpoint(newest, chain);
+  auto d = decode_chained_checkpoint(payload);
   ASSERT_TRUE(d.has_value());
   EXPECT_FALSE(verify_chained_checkpoint(*d));
 }
@@ -138,7 +146,9 @@ TEST(CheckpointChainTest, ChainIsBoundedAndStillVerifies) {
   }
   EXPECT_EQ(chain.size(), 64u);
   EXPECT_EQ(chain.front().upto, 37u);  // oldest retained link
-  auto d = decode_chained_checkpoint(encode_chained_checkpoint(newest, chain));
+  // Keep the encoded payload alive: DecodedCheckpoint::snapshot aliases it.
+  const Bytes payload = encode_chained_checkpoint(newest, chain);
+  auto d = decode_chained_checkpoint(payload);
   ASSERT_TRUE(d.has_value());
   // The truncated base is trusted: verification starts at the oldest
   // retained header, exactly as a recovering replica would.

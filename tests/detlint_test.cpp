@@ -586,6 +586,51 @@ TEST(DetlintTest, CrossIslandCaptureSuppressible) {
 
 // --- JSON output ---------------------------------------------------------------
 
+// --- hot-path-map --------------------------------------------------------------
+
+TEST(DetlintTest, HotPathMapFlaggedInDeliveryLayers) {
+  const std::string src = "std::map<std::uint64_t, PendingSend> pending_;\n";
+  for (const char* dir :
+       {"src/net/a.hpp", "src/gcs/a.hpp", "src/totem/a.hpp", "src/obs/a.hpp"}) {
+    const auto fs = lint_content(dir, src);
+    ASSERT_TRUE(has_rule(fs, "hot-path-map")) << dir;
+    EXPECT_EQ(line_of(fs, "hot-path-map"), 1) << dir;
+  }
+  EXPECT_TRUE(has_rule(lint_content("src/gcs/a.hpp", "std::multimap<Key, V> m_;\n"),
+                       "hot-path-map"));
+}
+
+TEST(DetlintTest, HotPathMapAdvisoryOnly) {
+  const auto fs = lint_content("src/totem/a.hpp", "std::map<int, int> m_;\n");
+  for (const Finding& f : fs) {
+    if (f.rule == "hot-path-map") {
+      EXPECT_EQ(f.severity, Severity::kWarning);
+    }
+  }
+  EXPECT_TRUE(has_rule(fs, "hot-path-map"));
+}
+
+TEST(DetlintTest, HotPathMapNotFlaggedOutsideDeliveryLayers) {
+  const std::string src = "std::map<std::string, Entry> entries_;\n";
+  EXPECT_FALSE(has_rule(lint_content("src/app/kv_store.hpp", src), "hot-path-map"));
+  EXPECT_FALSE(has_rule(lint_content("src/replication/a.hpp", src), "hot-path-map"));
+  EXPECT_FALSE(has_rule(lint_content("tests/foo_test.cpp", src), "hot-path-map"));
+}
+
+TEST(DetlintTest, HotPathMapIgnoresFlatMapAndComments) {
+  EXPECT_FALSE(has_rule(lint_content("src/gcs/a.hpp", "cts::FlatMap<Key, V> m_;\n"),
+                        "hot-path-map"));
+  EXPECT_FALSE(has_rule(
+      lint_content("src/gcs/a.hpp", "// replaced the old std::map<Key, V> here\n"),
+      "hot-path-map"));
+}
+
+TEST(DetlintTest, HotPathMapSuppressible) {
+  const std::string src = "// detlint:allow(hot-path-map): stable Counter& references\n"
+                          "std::map<std::string, Counter, std::less<>> counters_;\n";
+  EXPECT_TRUE(lint_content("src/obs/a.hpp", src).empty());
+}
+
 TEST(DetlintTest, JsonOutputCarriesCountsAndFindings) {
   const Finding warn{"src/a.hpp", 3, "pointer-key", Severity::kWarning, "keyed on pointer"};
   const Finding err{"src/b.cpp", 7, "wall-clock", Severity::kError, "say \"when\""};

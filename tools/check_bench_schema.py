@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Validate a bench trajectory file (BENCH_sim_core.json schema v1).
 
-Usage: check_bench_schema.py FILE [FILE...]
+Usage: check_bench_schema.py [--delta] FILE [FILE...]
 
 The recorded performance trajectory is an append-only series of labeled
 runs; CI gates on this checker so a malformed append (truncated write,
 duplicate label, missing metric) is caught at merge time rather than when
 someone next tries to plot the trajectory.
+
+With --delta, additionally print a per-benchmark delta table for the most
+recent '<prefix>-before-*' / '<prefix>-after-*' pair in each file (ns/op
+and items/s where present).  The table is informational: CI runs it as a
+non-gating step so reviewers see the measured effect of an optimization PR
+without digging through raw JSON.
 
 Exit status: 0 if every file validates, 1 otherwise (all problems are
 reported, not just the first).
@@ -35,6 +41,15 @@ KNOWN_BENCHMARKS = frozenset({
     "BM_ScenarioSweep",
     # PR 9: sharded topology + gateway routing.
     "BM_ShardedGatewayOpsPerSec",
+})
+
+# Optimization PRs whose before/after pair is part of the recorded history:
+# the trajectory must keep BOTH runs of each listed prefix, so the delta
+# stays reconstructible forever (a later rewrite that drops one side fails
+# the gate).
+REQUIRED_PAIR_PREFIXES = frozenset({
+    # PR 10: deterministic flat containers under the delivery pipeline.
+    "pr10",
 })
 
 
@@ -132,27 +147,87 @@ def pair_prefix(label, marker):
 def check_pairing(problems, path, labels):
     """Every '<prefix>-after-*' run must ride with its '<prefix>-before-*'
     partner: an optimization PR that records only the after-number has lost
-    its baseline, and the trajectory can no longer show the delta."""
+    its baseline, and the trajectory can no longer show the delta.  The
+    prefixes in REQUIRED_PAIR_PREFIXES must be present as complete pairs."""
     before_prefixes = {pair_prefix(lab, "before") for lab in labels}
+    after_prefixes = {pair_prefix(lab, "after") for lab in labels}
     for lab in labels:
         prefix = pair_prefix(lab, "after")
         if prefix is not None and prefix not in before_prefixes:
             fail(problems, path,
                  f"run label {lab!r} has no matching {prefix + '-before-*'!r} partner: "
                  f"record the baseline run before the optimized one")
+    for prefix in sorted(REQUIRED_PAIR_PREFIXES):
+        missing = [m for m, seen in (("before", before_prefixes), ("after", after_prefixes))
+                   if prefix not in seen]
+        if missing:
+            fail(problems, path,
+                 f"required pair {prefix!r} is incomplete: missing "
+                 f"{', '.join(prefix + '-' + m + '-*' for m in missing)} "
+                 f"(REQUIRED_PAIR_PREFIXES in tools/check_bench_schema.py)")
+
+
+def print_delta_table(path):
+    """Print the per-benchmark delta between the newest before/after pair."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return  # validation already reported the problem
+    runs = doc.get("runs") or []
+    by_label = {r.get("label"): r for r in runs if isinstance(r, dict)}
+    pair = None  # (prefix, before_label, after_label); newest after wins
+    for lab in by_label:
+        prefix = pair_prefix(lab or "", "after")
+        if prefix is None:
+            continue
+        before = next((b for b in by_label if pair_prefix(b or "", "before") == prefix), None)
+        if before is not None:
+            pair = (prefix, before, lab)
+    if pair is None:
+        print(f"{path}: no before/after pair to diff")
+        return
+    prefix, before_lab, after_lab = pair
+    before = {r["name"]: r for r in by_label[before_lab].get("results", [])
+              if isinstance(r, dict) and "name" in r}
+    after = {r["name"]: r for r in by_label[after_lab].get("results", [])
+             if isinstance(r, dict) and "name" in r}
+    print(f"\n{path}: {before_lab!r} -> {after_lab!r}")
+    header = f"{'benchmark':<38} {'ns/op before':>14} {'ns/op after':>14} {'delta':>8}"
+    print(header)
+    print("-" * len(header))
+    for name in sorted(set(before) & set(after)):
+        b, a = before[name].get("cpu_ns_per_op"), after[name].get("cpu_ns_per_op")
+        if not isinstance(b, (int, float)) or not isinstance(a, (int, float)) or not b:
+            continue
+        pct = (a - b) / b * 100.0
+        print(f"{name:<38} {b:>14.1f} {a:>14.1f} {pct:>+7.1f}%")
+        bi, ai = before[name].get("items_per_second"), after[name].get("items_per_second")
+        if isinstance(bi, (int, float)) and isinstance(ai, (int, float)) and bi:
+            ipct = (ai - bi) / bi * 100.0
+            print(f"{'  items/s':<38} {bi:>14.3g} {ai:>14.3g} {ipct:>+7.1f}%")
+    only = sorted(set(before) ^ set(after))
+    if only:
+        print(f"  (unpaired benchmarks skipped: {', '.join(only)})")
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    delta = "--delta" in args
+    paths = [a for a in args if a != "--delta"]
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     problems = []
-    for path in argv[1:]:
+    for path in paths:
         check_file(problems, path)
     for p in problems:
         print(f"error: {p}", file=sys.stderr)
     if not problems:
-        print(f"ok: {len(argv) - 1} trajectory file(s) validate")
+        print(f"ok: {len(paths)} trajectory file(s) validate")
+    if delta:
+        for path in paths:
+            print_delta_table(path)
     return 1 if problems else 0
 
 

@@ -43,6 +43,18 @@ bool rng_home(const std::string& path) { return starts_with(path, "src/common/rn
 /// The one audited byte-punning site (fixed-width little-endian codec).
 bool bytes_home(const std::string& path) { return path == "src/common/bytes.hpp"; }
 
+/// Delivery-pipeline layers migrated to cts::FlatMap/FlatSet/DenseNodeIndex
+/// (doc/PERFORMANCE.md): a node-based std::map here is usually an
+/// accidental per-element-allocation regression, not a deliberate
+/// stable-reference requirement.
+bool in_flat_container_layer(const std::string& path) {
+  static const char* kLayers[] = {"src/net/", "src/gcs/", "src/totem/", "src/obs/"};
+  for (const char* l : kLayers) {
+    if (starts_with(path, l)) return true;
+  }
+  return false;
+}
+
 /// Layers whose scheduled work belongs to a node: timers and continuations
 /// must be registered with the node's sim::TaskScope so a fail-stop crash
 /// cancels them.  (src/net schedules on behalf of the destination's scope
@@ -836,6 +848,14 @@ const std::vector<RegexRule>& regex_rules() {
        "code; schedule through scope()/scope_ (or suppress with a justification if the "
        "work is genuinely node-independent)",
        [](const std::string& p) { return in_node_layer(p); }},
+      {"hot-path-map", Severity::kWarning,
+       std::regex(R"(std::\s*(map|multimap)\s*<)"),
+       "node-based std::map/std::multimap in a delivery-pipeline layer: per-element "
+       "allocation and pointer-chasing on a hot path; prefer cts::FlatMap/FlatSet "
+       "(std::map-identical iteration order, src/common/flat_map.hpp) or DenseNodeIndex "
+       "for dense integer keys, or suppress with a justification when stable element "
+       "references are genuinely required",
+       [](const std::string& p) { return in_flat_container_layer(p); }},
       {"heap-callback", Severity::kWarning,
        std::regex(R"(std::\s*function\b)"),
        "std::function in the event hot path: captures past its ~16-byte small buffer "
